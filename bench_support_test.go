@@ -1,0 +1,11 @@
+package thetis
+
+import (
+	"thetis/internal/embedding"
+	"thetis/internal/experiments"
+)
+
+// trainForBench retrains the environment's embeddings (benchmark helper).
+func trainForBench(env *experiments.Env, cfg experiments.Config) *embedding.Store {
+	return embedding.TrainGraph(env.KG.Graph, cfg.Walks, cfg.Train)
+}

@@ -1,0 +1,63 @@
+// Command datagen generates a synthetic semantic-data-lake benchmark: a
+// knowledge graph (triples file), an entity-annotated table corpus (JSONL),
+// and benchmark queries with ground-truth metadata (JSON).
+//
+// Usage:
+//
+//	datagen -out bench/ -tables 4000 -profile wt2015 -queries 25
+//
+// The output directory will contain kg.nt, corpus.jsonl, and queries.json:
+// the input format of cmd/thetis, cmd/thetisd, and `benchrunner -bench`.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"thetis/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	out := flag.String("out", "bench", "output directory")
+	tables := flag.Int("tables", 4000, "number of tables")
+	profile := flag.String("profile", "wt2015", "corpus profile: wt2015 | wt2019 | gittables")
+	queries := flag.Int("queries", 25, "number of benchmark queries")
+	tuples := flag.Int("tuples", 5, "tuples per query")
+	width := flag.Int("width", 3, "entities per tuple")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	var prof datagen.CorpusProfile
+	switch *profile {
+	case "wt2015":
+		prof = datagen.ProfileWT2015(*tables)
+	case "wt2019":
+		prof = datagen.ProfileWT2019(*tables)
+	case "gittables":
+		prof = datagen.ProfileGitTables(*tables)
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+
+	kgCfg := datagen.DefaultKGConfig()
+	kgCfg.Seed = *seed
+	log.Printf("generating knowledge graph…")
+	k := datagen.GenerateKG(kgCfg)
+	log.Printf("  %s", k.Graph)
+
+	log.Printf("generating %d-table %s corpus…", *tables, prof.Name)
+	l := datagen.GenerateCorpus(k, prof)
+	log.Printf("  %s", l.ComputeStats())
+
+	qs := datagen.GenerateQueries(k, datagen.QueryConfig{
+		Count: *queries, TuplesPerQuery: *tuples, Width: *width, Seed: *seed,
+	})
+
+	if err := datagen.WriteBenchmark(*out, k.Graph, l, qs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s/{kg.nt, corpus.jsonl, queries.json}", *out)
+}

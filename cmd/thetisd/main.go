@@ -1,0 +1,98 @@
+// Command thetisd serves a semantic data lake over HTTP (see
+// internal/server for the API).
+//
+//	thetisd -kg bench/kg.nt -corpus bench/corpus.jsonl -addr :8080 \
+//	        [-sim types|embeddings] [-embfile embeddings.bin] [-lsh] [-votes 3]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"thetis"
+	"thetis/internal/server"
+	"thetis/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("thetisd: ")
+
+	kgPath := flag.String("kg", "bench/kg.nt", "knowledge graph triples file")
+	corpusPath := flag.String("corpus", "bench/corpus.jsonl", "corpus JSONL file")
+	addr := flag.String("addr", ":8080", "listen address")
+	sim := flag.String("sim", "types", "similarity: types | embeddings")
+	embFile := flag.String("embfile", "", "embeddings file (for -sim embeddings)")
+	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering (30,10)")
+	votes := flag.Int("votes", 3, "LSH vote threshold")
+	flag.Parse()
+
+	sys := load(*kgPath, *corpusPath)
+	switch *sim {
+	case "types":
+		sys.UseTypeSimilarity()
+	case "embeddings":
+		if *embFile != "" {
+			f, err := os.Open(*embFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = sys.LoadEmbeddings(bufio.NewReader(f))
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			log.Println("training embeddings…")
+			sys.TrainEmbeddings(thetis.DefaultWalkConfig(), thetis.DefaultTrainConfig())
+		}
+		sys.UseEmbeddingSimilarity()
+	default:
+		log.Fatalf("unknown similarity %q", *sim)
+	}
+	if *useLSH {
+		log.Println("building LSEI…")
+		sys.BuildIndex(thetis.DefaultIndexConfig())
+		sys.SetVotes(*votes)
+	}
+	log.Println("building keyword index…")
+	sys.BuildKeywordIndex()
+
+	log.Printf("serving %d tables on %s", sys.NumTables(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+}
+
+func load(kgPath, corpusPath string) *thetis.System {
+	g := thetis.NewGraph()
+	kf, err := os.Open(kgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := thetis.LoadTriples(g, bufio.NewReader(kf)); err != nil {
+		log.Fatalf("loading KG: %v", err)
+	}
+	kf.Close()
+
+	sys := thetis.New(g)
+	cf, err := os.Open(corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cf.Close()
+	jr := table.NewJSONReader(g, bufio.NewReaderSize(cf, 1<<20))
+	for {
+		t, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("corpus: %v", err)
+		}
+		sys.AddTable(t)
+	}
+	return sys
+}

@@ -1,0 +1,144 @@
+// Data discovery session: the extension features working together. An
+// analyst explores an unfamiliar lake with an over-specialized query
+// (automatically relaxed), blends type and embedding similarity into one
+// σ, and persists the trained artifacts so the next session starts
+// instantly.
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"thetis"
+)
+
+func main() {
+	g := buildGraph()
+	sys := buildLake(g)
+
+	// 1. Blend the two similarity signals (the paper's future-work item of
+	// combining measures in a unified manner): taxonomy types catch
+	// same-kind entities, embeddings catch same-community entities.
+	sys.TrainEmbeddings(
+		thetis.WalkConfig{WalksPerEntity: 40, Length: 8, Undirected: true, IncludePredicates: true, Seed: 1},
+		thetis.TrainConfig{Dim: 24, Window: 4, Negatives: 5, Epochs: 8, LearningRate: 0.05, Seed: 1})
+	sys.UseCombinedSimilarity(0.5, 0.5)
+
+	// 2. An over-specialized query: the analyst lists a player, the team,
+	// the city, AND a specific season value no table pairs with all of
+	// them. Plain search finds no perfect match; RelaxedSearch drops the
+	// least informative entity (the ubiquitous city) and recovers.
+	q, err := sys.ParseQuery("Nia Keller | Harbor Queens | Port Vista")
+	if err != nil {
+		log.Fatal(err)
+	}
+	strict := sys.Search(q, 5)
+	fmt.Println("strict query (player | team | city):")
+	printResults(sys, strict)
+
+	relaxedResults, relaxedQuery := sys.RelaxedSearch(q, 5, 1, 0.999)
+	fmt.Printf("\nafter relaxation (query narrowed to %d entities):\n", relaxedQuery.NumEntities())
+	printResults(sys, relaxedResults)
+
+	// 3. Persist the trained artifacts: the next session loads embeddings
+	// and the LSH index instead of re-training and re-hashing.
+	sys.BuildIndex(thetis.DefaultIndexConfig())
+	var embBlob, idxBlob bytes.Buffer
+	if err := sys.SaveEmbeddings(&embBlob); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SaveIndex(&idxBlob); err != nil {
+		log.Fatal(err)
+	}
+
+	embBytes, idxBytes := embBlob.Len(), idxBlob.Len()
+	next := buildLake(buildGraph()) // a fresh process over the same lake
+	if err := next.LoadEmbeddings(&embBlob); err != nil {
+		log.Fatal(err)
+	}
+	next.UseCombinedSimilarity(0.5, 0.5) // same σ as the session that saved
+	if err := next.LoadIndex(&idxBlob); err != nil {
+		log.Fatal(err)
+	}
+	q2, _ := next.ParseQuery("Nia Keller | Harbor Queens")
+	fmt.Printf("\nnext session (loaded %d B embeddings + %d B index, no retraining):\n",
+		embBytes, idxBytes)
+	printResults(next, next.Search(q2, 5))
+}
+
+func printResults(sys *thetis.System, results []thetis.Result) {
+	if len(results) == 0 {
+		fmt.Println("  (no tables with SemRel > 0)")
+		return
+	}
+	for i, r := range results {
+		fmt.Printf("  %d. %-22s SemRel=%.3f\n", i+1, sys.Table(r.Table).Name, r.Score)
+	}
+}
+
+func buildGraph() *thetis.Graph {
+	g := thetis.NewGraph()
+	ontology := `
+<onto/RowerPlayer>  <rdfs:subClassOf> <onto/Athlete> .
+<onto/SailorPlayer> <rdfs:subClassOf> <onto/Athlete> .
+<onto/Team>         <rdfs:subClassOf> <onto/Organisation> .
+<onto/City>         <rdfs:subClassOf> <onto/Place> .
+`
+	if err := thetis.LoadTriples(g, strings.NewReader(ontology)); err != nil {
+		log.Fatal(err)
+	}
+	var b strings.Builder
+	add := func(uri, label, typ string) {
+		fmt.Fprintf(&b, "<%s> <rdf:type> <%s> .\n<%s> <rdfs:label> \"%s\" .\n", uri, typ, uri, label)
+	}
+	add("res/keller", "Nia Keller", "onto/RowerPlayer")
+	add("res/ferro", "Max Ferro", "onto/RowerPlayer")
+	add("res/ito", "Kana Ito", "onto/RowerPlayer")
+	add("res/queens", "Harbor Queens", "onto/Team")
+	add("res/gulls", "Bay Gulls", "onto/Team")
+	add("res/portvista", "Port Vista", "onto/City")
+	for i := 0; i < 12; i++ {
+		add(fmt.Sprintf("res/sailor%d", i), fmt.Sprintf("Sailor %d", i), "onto/SailorPlayer")
+	}
+	fmt.Fprintf(&b, "<res/keller> <onto/team> <res/queens> .\n")
+	fmt.Fprintf(&b, "<res/ito> <onto/team> <res/queens> .\n")
+	fmt.Fprintf(&b, "<res/ferro> <onto/team> <res/gulls> .\n")
+	fmt.Fprintf(&b, "<res/queens> <onto/locatedIn> <res/portvista> .\n")
+	fmt.Fprintf(&b, "<res/gulls> <onto/locatedIn> <res/portvista> .\n")
+	if err := thetis.LoadTriples(g, strings.NewReader(b.String())); err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func buildLake(g *thetis.Graph) *thetis.System {
+	sys := thetis.New(g)
+	linker := thetis.NewDictionaryLinker(g)
+	add := func(t *thetis.Table) {
+		thetis.LinkTable(t, linker)
+		sys.AddTable(t)
+	}
+
+	roster := thetis.NewTable("queens_roster", []string{"Rower", "Team"})
+	roster.AppendValues("Nia Keller", "Harbor Queens")
+	roster.AppendValues("Kana Ito", "Harbor Queens")
+	add(roster)
+
+	rivals := thetis.NewTable("gulls_roster", []string{"Rower", "Team"})
+	rivals.AppendValues("Max Ferro", "Bay Gulls")
+	add(rivals)
+
+	// Port Vista appears in many unrelated tables, making it uninformative
+	// — and no table holds player+team+city together, which is what makes
+	// the 3-entity query over-specialized.
+	for i := 0; i < 6; i++ {
+		t := thetis.NewTable(fmt.Sprintf("city_events_%d", i), []string{"City", "Event"})
+		t.AppendValues("Port Vista", fmt.Sprintf("Regatta %d", i))
+		add(t)
+	}
+	return sys
+}

@@ -1,0 +1,3 @@
+module thetis
+
+go 1.22

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"thetis/internal/core"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+)
+
+// JoinSearcher is a D³L-style joinability search baseline: it ranks tables
+// by the syntactic value overlap between the query's entity mentions and
+// table columns (set containment of the query column in the table column).
+// Joinability rewards exact value overlap only, so tables that are
+// semantically related without shared values score zero — the behaviour
+// behind D³L's near-zero NDCG in Section 7.2.
+type JoinSearcher struct {
+	lake *lake.Lake
+	// colEnts[tableID][col] is the distinct entity set per column.
+	colEnts [][]map[kg.EntityID]bool
+}
+
+// NewJoinSearcher precomputes per-column entity sets.
+func NewJoinSearcher(l *lake.Lake) *JoinSearcher {
+	j := &JoinSearcher{lake: l, colEnts: make([][]map[kg.EntityID]bool, l.NumTables())}
+	for id, t := range l.Tables() {
+		cols := make([]map[kg.EntityID]bool, t.NumColumns())
+		for c := 0; c < t.NumColumns(); c++ {
+			set := make(map[kg.EntityID]bool)
+			for _, e := range t.ColumnEntities(c) {
+				set[e] = true
+			}
+			cols[c] = set
+		}
+		j.colEnts[id] = cols
+	}
+	return j
+}
+
+// Search ranks tables by the best containment of any query column in any
+// table column.
+func (j *JoinSearcher) Search(q core.Query, k int) []core.Result {
+	qcols := queryColumns(q)
+	var out []core.Result
+	for id, cols := range j.colEnts {
+		best := 0.0
+		for _, qc := range qcols {
+			if len(qc) == 0 {
+				continue
+			}
+			for _, set := range cols {
+				hit := 0
+				for _, e := range qc {
+					if set[e] {
+						hit++
+					}
+				}
+				if c := float64(hit) / float64(len(qc)); c > best {
+					best = c
+				}
+			}
+		}
+		if best > 0 {
+			out = append(out, core.Result{Table: lake.TableID(id), Score: best})
+		}
+	}
+	sortResults(out)
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

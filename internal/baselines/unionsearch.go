@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"thetis/internal/core"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+)
+
+// UnionSearcher is a SANTOS-style table union search baseline: it ranks
+// tables by how unionable they are with the query-as-a-table, matching
+// columns by the similarity of their semantic signatures (merged type sets,
+// the analogue of SANTOS's KG-derived column semantics) and favoring
+// structural agreement. Union search looks for tables that could extend the
+// query table with more rows — which is why it underperforms on semantic
+// relevance search, where the best tables often have entirely different
+// schemas (the SANTOS/Starmie rows of Figure 4).
+type UnionSearcher struct {
+	lake *lake.Lake
+	tj   *core.TypeJaccard
+	// colTypes[tableID][col] is the merged type set of that column.
+	colTypes [][][]kg.TypeID
+}
+
+// NewUnionSearcher precomputes column type signatures for the lake.
+func NewUnionSearcher(l *lake.Lake, tj *core.TypeJaccard) *UnionSearcher {
+	u := &UnionSearcher{lake: l, tj: tj, colTypes: make([][][]kg.TypeID, l.NumTables())}
+	for id, t := range l.Tables() {
+		cols := make([][]kg.TypeID, t.NumColumns())
+		for j := 0; j < t.NumColumns(); j++ {
+			cols[j] = mergeTypeSets(tj, t.ColumnEntities(j))
+		}
+		u.colTypes[id] = cols
+	}
+	return u
+}
+
+// mergeTypeSets unions the expanded type sets of the entities, sorted.
+func mergeTypeSets(tj *core.TypeJaccard, ents []kg.EntityID) []kg.TypeID {
+	seen := map[kg.TypeID]bool{}
+	for _, e := range ents {
+		for _, t := range tj.TypeSet(e) {
+			seen[t] = true
+		}
+	}
+	out := make([]kg.TypeID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sortTypeIDs(out)
+	return out
+}
+
+func sortTypeIDs(ts []kg.TypeID) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func typeSetJaccard(a, b []kg.TypeID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// Search ranks tables by unionability with the query table. The score
+// greedily matches each query column to its most similar unmatched table
+// column and normalizes by the larger column count, so tables with a
+// different schema width are penalized even when topically related.
+func (u *UnionSearcher) Search(q core.Query, k int) []core.Result {
+	qcols := queryColumns(q)
+	qsigs := make([][]kg.TypeID, len(qcols))
+	for i, col := range qcols {
+		qsigs[i] = mergeTypeSets(u.tj, col)
+	}
+	var out []core.Result
+	for id := range u.colTypes {
+		score := u.unionability(qsigs, u.colTypes[id])
+		if score > 0 {
+			out = append(out, core.Result{Table: lake.TableID(id), Score: score})
+		}
+	}
+	sortResults(out)
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// unionability greedily matches query columns to table columns.
+func (u *UnionSearcher) unionability(qsigs [][]kg.TypeID, tsigs [][]kg.TypeID) float64 {
+	if len(qsigs) == 0 || len(tsigs) == 0 {
+		return 0
+	}
+	used := make([]bool, len(tsigs))
+	total := 0.0
+	for _, qs := range qsigs {
+		best, bestJ := 0.0, -1
+		for j, ts := range tsigs {
+			if used[j] {
+				continue
+			}
+			if sim := typeSetJaccard(qs, ts); sim > best {
+				best, bestJ = sim, j
+			}
+		}
+		if bestJ >= 0 {
+			used[bestJ] = true
+			total += best
+		}
+	}
+	wider := len(qsigs)
+	if len(tsigs) > wider {
+		wider = len(tsigs)
+	}
+	return total / float64(wider)
+}

@@ -1,0 +1,163 @@
+// Package bm25 implements Okapi BM25 keyword search over data-lake tables,
+// the exact-matching baseline of the paper's evaluation ("BM25 on text
+// queries"). Every table is one document consisting of its name, attribute
+// headers, and cell text. The same index doubles as the label index used to
+// link GitTables-style corpora and as the naive BM25 prefilter ablated in
+// Section 7.3.
+package bm25
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Default Okapi parameters; the standard values used by Lucene.
+const (
+	DefaultK1 = 1.2
+	DefaultB  = 0.75
+)
+
+// Tokenize lowercases and splits text into alphanumeric word tokens.
+// Numbers are kept (cell contents are often numeric); everything else is a
+// separator.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+type posting struct {
+	doc  int32
+	freq int32
+}
+
+// Index is a BM25 inverted index over integer document IDs. Build it with
+// Add calls (any order of doc IDs) followed by Finish, then query with
+// Search. An Index is safe for concurrent searches after Finish.
+type Index struct {
+	k1, b float64
+
+	postings map[string][]posting
+	docLen   map[int32]int
+	totalLen int64
+	// dirty marks that avgLen must be recomputed before the next search;
+	// it lets documents be added incrementally at any time.
+	dirty  bool
+	avgLen float64
+}
+
+// NewIndex creates an empty index with the default BM25 parameters.
+func NewIndex() *Index { return NewIndexParams(DefaultK1, DefaultB) }
+
+// NewIndexParams creates an empty index with explicit k1/b parameters.
+func NewIndexParams(k1, b float64) *Index {
+	return &Index{
+		k1:       k1,
+		b:        b,
+		postings: make(map[string][]posting),
+		docLen:   make(map[int32]int),
+	}
+}
+
+// Add indexes one document. Adding the same doc ID twice concatenates its
+// text. Documents may be added at any time (incremental ingestion), but
+// Add must not run concurrently with Search.
+func (ix *Index) Add(doc int32, text string) {
+	ix.dirty = true
+	tokens := Tokenize(text)
+	if len(tokens) == 0 {
+		return
+	}
+	counts := make(map[string]int, len(tokens))
+	for _, tok := range tokens {
+		counts[tok]++
+	}
+	for tok, c := range counts {
+		pl := ix.postings[tok]
+		// Merge with an existing posting for this doc if Add is called
+		// twice for the same ID.
+		merged := false
+		for i := range pl {
+			if pl[i].doc == doc {
+				pl[i].freq += int32(c)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			pl = append(pl, posting{doc: doc, freq: int32(c)})
+		}
+		ix.postings[tok] = pl
+	}
+	ix.docLen[doc] += len(tokens)
+	ix.totalLen += int64(len(tokens))
+}
+
+// Finish precomputes the average document length. Calling it is optional —
+// Search finalizes lazily — but doing so after bulk ingestion keeps the
+// index safe for concurrent searches (a lazy finalize inside Search is not).
+func (ix *Index) Finish() {
+	if len(ix.docLen) > 0 {
+		ix.avgLen = float64(ix.totalLen) / float64(len(ix.docLen))
+	}
+	ix.dirty = false
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.docLen) }
+
+// Result is one scored document.
+type Result struct {
+	Doc   int32
+	Score float64
+}
+
+// Search scores all documents matching at least one query token and returns
+// the top-k results in descending score order (ascending doc ID on ties).
+// Pass k < 0 for all matches.
+func (ix *Index) Search(query string, k int) []Result {
+	if ix.dirty {
+		ix.Finish()
+	}
+	n := float64(len(ix.docLen))
+	if n == 0 {
+		return nil
+	}
+	scores := make(map[int32]float64)
+	tokens := Tokenize(query)
+	seen := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		if seen[tok] {
+			continue // query term frequency is ignored, as in Lucene
+		}
+		seen[tok] = true
+		pl := ix.postings[tok]
+		if len(pl) == 0 {
+			continue
+		}
+		df := float64(len(pl))
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		for _, p := range pl {
+			tf := float64(p.freq)
+			dl := float64(ix.docLen[p.doc])
+			norm := ix.k1 * (1 - ix.b + ix.b*dl/ix.avgLen)
+			scores[p.doc] += idf * tf * (ix.k1 + 1) / (tf + norm)
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, Result{Doc: doc, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package bm25
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Ron Santo, 3rd-base (Chicago Cubs)!")
+	want := []string{"ron", "santo", "3rd", "base", "chicago", "cubs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if len(Tokenize("  ... ")) != 0 {
+		t.Error("punctuation-only text should produce no tokens")
+	}
+}
+
+func buildIndex() *Index {
+	ix := NewIndex()
+	ix.Add(0, "ron santo chicago cubs baseball")
+	ix.Add(1, "mitch stetter milwaukee brewers baseball")
+	ix.Add(2, "meryl streep actor film")
+	ix.Add(3, "chicago bulls basketball chicago chicago")
+	ix.Finish()
+	return ix
+}
+
+func TestSearchRanksExactMatchFirst(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("ron santo", 10)
+	if len(res) == 0 || res[0].Doc != 0 {
+		t.Fatalf("Search(ron santo) = %v, want doc 0 first", res)
+	}
+}
+
+func TestSearchMultipleMatches(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("baseball", 10)
+	if len(res) != 2 {
+		t.Fatalf("Search(baseball) = %v, want 2 docs", res)
+	}
+	got := map[int32]bool{res[0].Doc: true, res[1].Doc: true}
+	if !got[0] || !got[1] {
+		t.Errorf("Search(baseball) docs = %v, want {0,1}", got)
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := buildIndex()
+	if res := ix.Search("volleyball", 10); len(res) != 0 {
+		t.Errorf("Search(volleyball) = %v, want empty", res)
+	}
+	if res := ix.Search("", 10); len(res) != 0 {
+		t.Errorf("Search(empty) = %v, want empty", res)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("chicago baseball", 1)
+	if len(res) != 1 {
+		t.Fatalf("k=1 returned %d results", len(res))
+	}
+	all := ix.Search("chicago baseball", -1)
+	if len(all) != 3 {
+		t.Errorf("k=-1 returned %d results, want 3", len(all))
+	}
+	if all[0].Doc != res[0].Doc {
+		t.Error("truncation changed the top result")
+	}
+}
+
+func TestScoresDescending(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("chicago cubs baseball", -1)
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatalf("scores not descending: %v", res)
+		}
+	}
+}
+
+func TestIDFPrefersRareTerms(t *testing.T) {
+	ix := NewIndex()
+	for i := int32(0); i < 20; i++ {
+		ix.Add(i, "common filler words here")
+	}
+	ix.Add(20, "common rareword")
+	ix.Finish()
+	res := ix.Search("common rareword", 1)
+	if len(res) == 0 || res[0].Doc != 20 {
+		t.Fatalf("rare term did not dominate: %v", res)
+	}
+}
+
+func TestIncrementalAddAfterFinish(t *testing.T) {
+	ix := buildIndex()
+	if res := ix.Search("lateword", 5); len(res) != 0 {
+		t.Fatalf("unexpected hit before incremental add: %v", res)
+	}
+	ix.Add(9, "lateword arrives")
+	res := ix.Search("lateword", 5)
+	if len(res) != 1 || res[0].Doc != 9 {
+		t.Fatalf("incrementally added document not found: %v", res)
+	}
+	// The average document length reflects the new document.
+	if ix.avgLen == 0 {
+		t.Error("avgLen not refreshed after incremental add")
+	}
+}
+
+func TestSearchWithoutFinishLazilyFinalizes(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, "text here")
+	res := ix.Search("text", 1)
+	if len(res) != 1 || res[0].Doc != 0 {
+		t.Fatalf("lazy finalize failed: %v", res)
+	}
+}
+
+func TestEmptyIndexSearch(t *testing.T) {
+	ix := NewIndex()
+	ix.Finish()
+	if res := ix.Search("anything", 5); res != nil {
+		t.Errorf("empty index search = %v", res)
+	}
+}
+
+func TestAddSameDocTwiceMerges(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, "alpha beta")
+	ix.Add(0, "alpha gamma")
+	ix.Add(1, "delta")
+	ix.Finish()
+	if ix.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", ix.NumDocs())
+	}
+	res := ix.Search("alpha", -1)
+	if len(res) != 1 || res[0].Doc != 0 {
+		t.Errorf("Search(alpha) = %v", res)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	g := kg.NewGraph()
+	e := g.AddEntity("dbr:Ron_Santo", "Ron Santo")
+	tb := table.New("roster", []string{"Player", "Team"})
+	tb.AppendRow([]table.Cell{table.LinkedCell("Ron Santo", e), {Value: "Cubs"}})
+	text := TableText(tb)
+	for _, want := range []string{"roster", "Player", "Team", "Ron Santo", "Cubs"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("TableText missing %q: %q", want, text)
+		}
+	}
+}
+
+func TestIndexLake(t *testing.T) {
+	g := kg.NewGraph()
+	l := lake.New(g)
+	t1 := table.New("teams", []string{"Team"})
+	t1.AppendValues("Chicago Cubs")
+	t2 := table.New("actors", []string{"Name"})
+	t2.AppendValues("Meryl Streep")
+	l.Add(t1)
+	l.Add(t2)
+	ix := IndexLake(l)
+	res := ix.Search("cubs", 5)
+	if len(res) != 1 || res[0].Doc != 0 {
+		t.Errorf("IndexLake search = %v, want table 0", res)
+	}
+}
+
+// Property-style fuzz: search never returns more than k results, never
+// returns non-positive scores, and never panics on random input.
+func TestSearchFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g"}
+	ix := NewIndex()
+	for d := int32(0); d < 50; d++ {
+		var text string
+		for w := 0; w < 1+rng.Intn(10); w++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		ix.Add(d, text)
+	}
+	ix.Finish()
+	for trial := 0; trial < 100; trial++ {
+		q := fmt.Sprintf("%s %s", vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))])
+		k := rng.Intn(5)
+		res := ix.Search(q, k)
+		if len(res) > k {
+			t.Fatalf("returned %d > k=%d", len(res), k)
+		}
+		for _, r := range res {
+			if r.Score <= 0 {
+				t.Fatalf("non-positive score %v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package bm25
+
+import "testing"
+
+// FuzzTokenize: tokenization must never panic and must only produce
+// non-empty lowercase alphanumeric tokens.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Ron Santo, 3B (Chicago)")
+	f.Add("")
+	f.Add("δοκιμή ünïcödé 統一")
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, tok := range Tokenize(input) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					t.Fatalf("token %q not lowercased", tok)
+				}
+			}
+		}
+	})
+}
+
+// FuzzIndexSearch: indexing and searching arbitrary text must never panic,
+// and scores must stay positive and finite.
+func FuzzIndexSearch(f *testing.F) {
+	f.Add("hello world", "hello")
+	f.Add("", "")
+	f.Add("a a a a b", "a b c")
+	f.Fuzz(func(t *testing.T, doc, query string) {
+		ix := NewIndex()
+		ix.Add(0, doc)
+		ix.Add(1, "fixed second document")
+		ix.Finish()
+		for _, r := range ix.Search(query, 10) {
+			if !(r.Score > 0) {
+				t.Fatalf("non-positive score %v", r.Score)
+			}
+			if r.Score != r.Score || r.Score > 1e308 {
+				t.Fatalf("pathological score %v", r.Score)
+			}
+		}
+	})
+}

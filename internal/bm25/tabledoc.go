@@ -1,0 +1,35 @@
+package bm25
+
+import (
+	"strings"
+
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+// TableText flattens a table into the document text BM25 indexes: name,
+// attribute headers, and every cell value.
+func TableText(t *table.Table) string {
+	var sb strings.Builder
+	sb.WriteString(t.Name)
+	sb.WriteByte(' ')
+	sb.WriteString(strings.Join(t.Attributes, " "))
+	for _, row := range t.Rows {
+		for _, c := range row {
+			sb.WriteByte(' ')
+			sb.WriteString(c.Value)
+		}
+	}
+	return sb.String()
+}
+
+// IndexLake builds a finished BM25 index over every table of a lake, with
+// document IDs equal to table IDs.
+func IndexLake(l *lake.Lake) *Index {
+	ix := NewIndex()
+	for id, t := range l.Tables() {
+		ix.Add(int32(id), TableText(t))
+	}
+	ix.Finish()
+	return ix
+}

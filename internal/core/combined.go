@@ -1,0 +1,46 @@
+package core
+
+import "thetis/internal/kg"
+
+// CombinedSimilarity blends several entity similarities into one σ by
+// weighted average — the paper's future-work direction of "using a
+// combination of similarity measures in Thetis ... in a unified manner".
+// Weights are normalized at construction; identical entities still score 1
+// because every component satisfies σ(e, e) = 1.
+type CombinedSimilarity struct {
+	sims    []Similarity
+	weights []float64
+}
+
+// NewCombinedSimilarity builds a weighted blend. Panics when the inputs are
+// empty, mismatched, or the weights do not sum to a positive value —
+// programming errors in configuration code.
+func NewCombinedSimilarity(sims []Similarity, weights []float64) *CombinedSimilarity {
+	if len(sims) == 0 || len(sims) != len(weights) {
+		panic("core: combined similarity needs matching non-empty sims and weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("core: combined similarity weights must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("core: combined similarity weights must sum to a positive value")
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return &CombinedSimilarity{sims: sims, weights: norm}
+}
+
+// Score implements Similarity.
+func (c *CombinedSimilarity) Score(a, b kg.EntityID) float64 {
+	var s float64
+	for i, sim := range c.sims {
+		s += c.weights[i] * sim.Score(a, b)
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+package core
+
+// Complement merges two ranked result lists into one of length at most k by
+// taking the top half of each and interleaving them (first list first,
+// duplicates dropped). This is the STSTC/STSEC combination of Section 7.2:
+// complementing exact keyword matching (BM25) with semantic table search
+// "combines the best of both worlds". When one list runs short, the other
+// fills the remaining slots.
+func Complement(a, b []int, k int) []int {
+	if k < 0 {
+		k = len(a) + len(b)
+	}
+	half := (k + 1) / 2
+	takeA, takeB := half, half
+	if takeA > len(a) {
+		takeA = len(a)
+	}
+	if takeB > len(b) {
+		takeB = len(b)
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	push := func(id int) bool {
+		if len(out) >= k || seen[id] {
+			return len(out) < k
+		}
+		seen[id] = true
+		out = append(out, id)
+		return true
+	}
+	for i := 0; i < takeA || i < takeB; i++ {
+		if i < takeA {
+			push(a[i])
+		}
+		if i < takeB {
+			push(b[i])
+		}
+	}
+	// Fill remaining slots from the tails, preferring list a.
+	for i := takeA; i < len(a) && len(out) < k; i++ {
+		push(a[i])
+	}
+	for i := takeB; i < len(b) && len(out) < k; i++ {
+		push(b[i])
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"thetis/internal/embedding"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+func TestCombinedSimilarityBlends(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	store := embedding.NewStore(g.NumEntities(), 2)
+	santo, volley := ent(t, g, "santo"), ent(t, g, "volley1")
+	store.Set(santo, embedding.Vector{1, 0})
+	store.Set(volley, embedding.Vector{0, 1})
+	ec := NewEmbeddingCosine(g, store)
+
+	// Types say the players are related (0.667); embeddings say orthogonal
+	// (0). A 50/50 blend lands in the middle.
+	comb := NewCombinedSimilarity([]Similarity{tj, ec}, []float64{1, 1})
+	tjs := tj.Score(santo, volley)
+	got := comb.Score(santo, volley)
+	want := tjs / 2
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("combined = %v, want %v", got, want)
+	}
+	if comb.Score(santo, santo) != 1 {
+		t.Errorf("combined identity = %v, want 1", comb.Score(santo, santo))
+	}
+}
+
+func TestCombinedSimilarityWeightNormalization(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	a, b := ent(t, g, "santo"), ent(t, g, "stetter")
+	c1 := NewCombinedSimilarity([]Similarity{tj}, []float64{0.2})
+	if c1.Score(a, b) != tj.Score(a, b) {
+		t.Error("single-component blend should equal the component")
+	}
+	c2 := NewCombinedSimilarity([]Similarity{tj, tj}, []float64{3, 1})
+	if c2.Score(a, b) != tj.Score(a, b) {
+		t.Error("same-component blend should equal the component")
+	}
+}
+
+func TestCombinedSimilarityPanics(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	cases := []func(){
+		func() { NewCombinedSimilarity(nil, nil) },
+		func() { NewCombinedSimilarity([]Similarity{tj}, []float64{1, 2}) },
+		func() { NewCombinedSimilarity([]Similarity{tj}, []float64{-1}) },
+		func() { NewCombinedSimilarity([]Similarity{tj}, []float64{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCombinedSimilarityInEngine(t *testing.T) {
+	l, g := fixtureLake(t)
+	comb := NewCombinedSimilarity(
+		[]Similarity{NewTypeJaccard(g), NewPredicateJaccard(g)},
+		[]float64{0.7, 0.3})
+	eng := NewEngine(l, comb)
+	q := queryOf(t, g, "santo", "cubs")
+	res, _ := eng.Search(q, -1)
+	if len(res) == 0 || res[0].Table != 0 {
+		t.Fatalf("combined-σ search = %v, want table 0 first", res)
+	}
+}
+
+// relaxFixture: a lake where the full 3-entity query matches nothing well,
+// but dropping the ubiquitous city entity makes the player tables findable.
+func relaxFixture(t *testing.T) (*lake.Lake, *kg.Graph, Query) {
+	t.Helper()
+	g := fixtureGraph()
+	l := lake.New(g)
+	le := func(uri string) table.Cell {
+		e, _ := g.Lookup(uri)
+		return table.LinkedCell(g.Label(e), e)
+	}
+	// Several tables mention chicago (making it uninformative), none
+	// contain all three query entities together.
+	for i := 0; i < 5; i++ {
+		tb := table.New("city", []string{"City"})
+		tb.AppendRow([]table.Cell{le("chicago")})
+		l.Add(tb)
+	}
+	players := table.New("players", []string{"Player", "Team"})
+	players.AppendRow([]table.Cell{le("santo"), le("cubs")})
+	l.Add(players)
+	q := Query{Tuple{ent(t, g, "santo"), ent(t, g, "cubs"), ent(t, g, "chicago")}}
+	return l, g, q
+}
+
+func TestRelaxedSearchDropsUninformativeEntity(t *testing.T) {
+	l, g, q := relaxFixture(t)
+	eng := NewEngine(l, NewTypeJaccard(g))
+	// Demand 1 result with a perfect score: only achievable after
+	// relaxing away the chicago constraint.
+	results, relaxed := eng.RelaxedSearch(q, RelaxOptions{K: 3, MinResults: 1, MinScore: 0.999})
+	if len(relaxed) != 1 {
+		t.Fatalf("relaxed query = %v", relaxed)
+	}
+	if len(relaxed[0]) >= 3 {
+		t.Errorf("query was not relaxed: width still %d", len(relaxed[0]))
+	}
+	if len(results) == 0 || results[0].Score < 0.999 {
+		t.Fatalf("relaxation did not reach a perfect match: %v", results)
+	}
+	if results[0].Table != 5 {
+		t.Errorf("top table = %d, want the players table (5)", results[0].Table)
+	}
+	// The dropped entity must be the least informative one (chicago,
+	// frequency 5 vs 1).
+	for _, e := range relaxed[0] {
+		if e == ent(t, g, "chicago") {
+			t.Error("relaxation dropped the wrong entity")
+		}
+	}
+}
+
+func TestRelaxedSearchStopsWhenSatisfied(t *testing.T) {
+	l, g := fixtureLake(t)
+	eng := NewEngine(l, NewTypeJaccard(g))
+	q := queryOf(t, g, "santo", "cubs")
+	results, relaxed := eng.RelaxedSearch(q, RelaxOptions{K: 3, MinResults: 1, MinScore: 0.9})
+	if len(relaxed[0]) != 2 {
+		t.Errorf("satisfied query was relaxed anyway: %v", relaxed)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestRelaxedSearchSingleEntityFloor(t *testing.T) {
+	l, g := fixtureLake(t)
+	eng := NewEngine(l, NewTypeJaccard(g))
+	q := queryOf(t, g, "santo")
+	// Impossible demand: relaxation must stop at the 1-entity floor, not
+	// loop or produce an empty query.
+	results, relaxed := eng.RelaxedSearch(q, RelaxOptions{K: 3, MinResults: 100, MinScore: 0.9999})
+	if len(relaxed) != 1 || len(relaxed[0]) != 1 {
+		t.Errorf("single-entity query changed: %v", relaxed)
+	}
+	_ = results
+}
+
+func TestRelaxedSearchEmptyQuery(t *testing.T) {
+	l, _ := fixtureLake(t)
+	eng := NewEngine(l, NewTypeJaccard(l.Graph))
+	results, relaxed := eng.RelaxedSearch(Query{}, RelaxOptions{K: 5})
+	if len(results) != 0 || len(relaxed) != 0 {
+		t.Errorf("empty query relaxed search = %v, %v", results, relaxed)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"thetis/internal/hungarian"
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+func TestGreedyMaximizeBasics(t *testing.T) {
+	S := [][]float64{
+		{10, 9},
+		{9, 1},
+	}
+	got := greedyMaximize(S)
+	// Greedy takes (0,0)=10 then (1,1)=1 -> total 11; optimal is 18.
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("greedy = %v, want [0 1]", got)
+	}
+	if hungarian.TotalScore(S, got) >= hungarian.TotalScore(S, hungarian.Maximize(S)) {
+		t.Error("greedy should be suboptimal on this matrix")
+	}
+}
+
+func TestGreedyMaximizeSkipsZeroColumns(t *testing.T) {
+	S := [][]float64{{0, 0}}
+	got := greedyMaximize(S)
+	if got[0] != -1 {
+		t.Errorf("greedy assigned a zero-score column: %v", got)
+	}
+	if got := greedyMaximize(nil); len(got) != 0 {
+		t.Errorf("greedy(nil) = %v", got)
+	}
+}
+
+// Greedy can pick a suboptimal assignment when an early query entity takes
+// the column a later entity needs more: column C holds both players (sum
+// 1.95 for either query entity), column D holds only santo. Greedy sends
+// santo to C and stetter to D; the Hungarian optimum crosses them, which
+// also yields the better SemRel.
+func TestGreedySuboptimalCase(t *testing.T) {
+	g := fixtureGraph()
+	l := lake.New(g)
+	le := func(uri string) table.Cell {
+		e, _ := g.Lookup(uri)
+		return table.LinkedCell(g.Label(e), e)
+	}
+	tb := table.New("crossed", []string{"C", "D"})
+	tb.AppendRow([]table.Cell{le("santo"), le("santo")})
+	tb.AppendRow([]table.Cell{le("stetter"), {Value: "-"}})
+	l.Add(tb)
+
+	q := queryOf(t, g, "santo", "stetter")
+	hung := NewEngine(l, NewTypeJaccard(g))
+	greedy := NewEngine(l, NewTypeJaccard(g))
+	greedy.Mapping = MappingGreedy
+	rh, _ := hung.Search(q, -1)
+	rg, _ := greedy.Search(q, -1)
+	if len(rh) != 1 || len(rg) != 1 {
+		t.Fatalf("results: %v / %v", rh, rg)
+	}
+	// Hungarian: stetter->C (max σ = 1), santo->D (max σ = 1) => SemRel 1.
+	if rh[0].Score != 1 {
+		t.Errorf("hungarian crossed score = %v, want 1", rh[0].Score)
+	}
+	if !(rg[0].Score < rh[0].Score) {
+		t.Errorf("greedy %v should be below hungarian %v on crossed columns",
+			rg[0].Score, rh[0].Score)
+	}
+}
+
+// The Hungarian method maximizes the *assignment total* (Section 5.1's
+// objective). Greedy can never exceed it on that objective — though the
+// downstream MAX-aggregated SemRel is a different function and may
+// occasionally disagree, which is exactly what the ablation quantifies.
+func TestHungarianDominatesGreedyOnAssignmentTotal(t *testing.T) {
+	l, g := fixtureLake(t)
+	q := queryOf(t, g, "santo", "stetter")
+	sc := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingHungarian)
+	scGreedy := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingGreedy)
+	for _, tb := range l.Tables() {
+		if tb.NumRows() == 0 {
+			continue
+		}
+		_, hTotal := sc.mapColumns(0, tb)
+		_, gTotal := scGreedy.mapColumns(0, tb)
+		if gTotal > hTotal+1e-9 {
+			t.Errorf("table %q: greedy total %v exceeds hungarian %v", tb.Name, gTotal, hTotal)
+		}
+	}
+}
+
+func TestMappingMethodString(t *testing.T) {
+	if MappingHungarian.String() != "hungarian" || MappingGreedy.String() != "greedy" {
+		t.Error("MappingMethod.String wrong")
+	}
+}

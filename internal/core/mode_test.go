@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+func TestPairwiseModeExactRowScoresOne(t *testing.T) {
+	l, g := fixtureLake(t)
+	eng := NewEngine(l, NewTypeJaccard(g))
+	eng.Mode = ModePairwise
+	q := queryOf(t, g, "santo", "cubs")
+	results, _ := eng.Search(q, -1)
+	if len(results) == 0 || results[0].Table != 0 {
+		t.Fatalf("pairwise results = %v, want table 0 first", results)
+	}
+	// Table 0 row 1 is exactly (santo, cubs): pairwise MAX = 1.
+	if results[0].Score != 1 {
+		t.Errorf("pairwise MAX exact score = %v, want 1", results[0].Score)
+	}
+}
+
+// Pairwise MAX differs from entity-wise MAX when the best entities live in
+// different rows: entity-wise can combine them, pairwise cannot.
+func TestPairwiseVsEntityWiseCrossRow(t *testing.T) {
+	g := fixtureGraph()
+	l := lake.New(g)
+	le := func(uri string) table.Cell {
+		e, _ := g.Lookup(uri)
+		return table.LinkedCell(g.Label(e), e)
+	}
+	// santo appears in row 0 with an unrelated city; cubs in row 1 with an
+	// unrelated player. No single row matches both query entities.
+	tb := table.New("split", []string{"Who", "What"})
+	tb.AppendRow([]table.Cell{le("santo"), le("chicago")})
+	tb.AppendRow([]table.Cell{le("volley1"), le("cubs")})
+	l.Add(tb)
+
+	q := queryOf(t, g, "santo", "cubs")
+	ew := NewEngine(l, NewTypeJaccard(g))
+	pw := NewEngine(l, NewTypeJaccard(g))
+	pw.Mode = ModePairwise
+
+	rew, _ := ew.Search(q, -1)
+	rpw, _ := pw.Search(q, -1)
+	if len(rew) != 1 || len(rpw) != 1 {
+		t.Fatalf("results: %v / %v", rew, rpw)
+	}
+	if !(rew[0].Score > rpw[0].Score) {
+		t.Errorf("entity-wise %v should exceed pairwise %v on cross-row matches",
+			rew[0].Score, rpw[0].Score)
+	}
+	// Entity-wise finds a perfect column-wise match (santo in col 0, cubs
+	// in col 1, both σ=1 after row aggregation).
+	if rew[0].Score != 1 {
+		t.Errorf("entity-wise cross-row score = %v, want 1", rew[0].Score)
+	}
+}
+
+func TestPairwiseAvgDilutes(t *testing.T) {
+	g := fixtureGraph()
+	l := lake.New(g)
+	le := func(uri string) table.Cell {
+		e, _ := g.Lookup(uri)
+		return table.LinkedCell(g.Label(e), e)
+	}
+	tb := table.New("mixed", []string{"Who"})
+	tb.AppendRow([]table.Cell{le("santo")})
+	for i := 0; i < 9; i++ {
+		tb.AppendRow([]table.Cell{le("chicago")})
+	}
+	l.Add(tb)
+	q := queryOf(t, g, "santo")
+
+	pwMax := NewEngine(l, NewTypeJaccard(g))
+	pwMax.Mode = ModePairwise
+	pwMax.Agg = AggregateMax
+	pwAvg := NewEngine(l, NewTypeJaccard(g))
+	pwAvg.Mode = ModePairwise
+	pwAvg.Agg = AggregateAvg
+
+	rMax, _ := pwMax.Search(q, -1)
+	rAvg, _ := pwAvg.Search(q, -1)
+	if len(rMax) != 1 || len(rAvg) != 1 {
+		t.Fatalf("results: %v / %v", rMax, rAvg)
+	}
+	if !(rMax[0].Score > rAvg[0].Score) {
+		t.Errorf("pairwise MAX %v should beat AVG %v on diluted tables",
+			rMax[0].Score, rAvg[0].Score)
+	}
+	if rMax[0].Score != 1 {
+		t.Errorf("pairwise MAX = %v, want 1 (exact row present)", rMax[0].Score)
+	}
+}
+
+func TestPairwiseIrrelevantStillZero(t *testing.T) {
+	l, g := fixtureLake(t)
+	eng := NewEngine(l, NewTypeJaccard(g))
+	eng.Mode = ModePairwise
+	q := queryOf(t, g, "santo", "cubs")
+	results, _ := eng.Search(q, -1)
+	for _, r := range results {
+		if r.Table == 4 {
+			t.Error("pairwise mode returned the unlinked table")
+		}
+	}
+}
+
+func TestScoreModeString(t *testing.T) {
+	if ModeEntityWise.String() != "entitywise" || ModePairwise.String() != "pairwise" {
+		t.Error("ScoreMode.String wrong")
+	}
+}

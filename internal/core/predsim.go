@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+
+	"thetis/internal/kg"
+)
+
+// PredicateJaccard scores entities by the Jaccard similarity of the
+// predicate sets around them (incoming and outgoing edge labels). This is
+// the alternative set-based similarity the paper points to ("one can also
+// compute the similarity between two entities based on the set of
+// predicates around them [47]"); it is useful in KGs with a thin taxonomy
+// but a rich relation vocabulary. Like the adjusted type Jaccard, the score
+// for non-identical entities is capped at MaxJaccard.
+//
+// Directionality is preserved: an outgoing predicate and the same
+// predicate incoming count as different signals, so a player (out: team)
+// and a team (in: team) do not look alike.
+type PredicateJaccard struct {
+	preds [][]uint32 // sorted per-entity predicate signatures
+}
+
+// NewPredicateJaccard precomputes the predicate signature of every entity
+// of g.
+func NewPredicateJaccard(g *kg.Graph) *PredicateJaccard {
+	pj := &PredicateJaccard{preds: make([][]uint32, g.NumEntities())}
+	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
+		seen := map[uint32]bool{}
+		for _, edge := range g.Out(e) {
+			seen[uint32(edge.Predicate)<<1] = true
+		}
+		for _, edge := range g.In(e) {
+			seen[uint32(edge.Predicate)<<1|1] = true
+		}
+		sig := make([]uint32, 0, len(seen))
+		for p := range seen {
+			sig = append(sig, p)
+		}
+		sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+		pj.preds[e] = sig
+	}
+	return pj
+}
+
+// PredicateSet returns the directional predicate signature of e (owned by
+// the receiver).
+func (pj *PredicateJaccard) PredicateSet(e kg.EntityID) []uint32 { return pj.preds[e] }
+
+// Score implements Similarity.
+func (pj *PredicateJaccard) Score(a, b kg.EntityID) float64 {
+	if a == b {
+		return 1
+	}
+	pa, pb := pj.preds[a], pj.preds[b]
+	if len(pa) == 0 || len(pb) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i] == pb[j]:
+			inter++
+			i++
+			j++
+		case pa[i] < pb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	jac := float64(inter) / float64(len(pa)+len(pb)-inter)
+	if jac > MaxJaccard {
+		return MaxJaccard
+	}
+	return jac
+}

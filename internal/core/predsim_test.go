@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func TestPredicateJaccard(t *testing.T) {
+	g := fixtureGraph()
+	pj := NewPredicateJaccard(g)
+	santo := ent(t, g, "santo")
+	stetter := ent(t, g, "stetter")
+	cubs := ent(t, g, "cubs")
+	volley := ent(t, g, "volley1")
+
+	if got := pj.Score(santo, santo); got != 1 {
+		t.Errorf("σ(e,e) = %v", got)
+	}
+	// Both players have only out:team — capped identical signatures.
+	if got := pj.Score(santo, stetter); got != MaxJaccard {
+		t.Errorf("σ(player, player) = %v, want cap %v", got, MaxJaccard)
+	}
+	// Player (out:team) vs team (in:team, out:city): disjoint directional
+	// signatures.
+	if got := pj.Score(santo, cubs); got != 0 {
+		t.Errorf("σ(player, team) = %v, want 0 (directional)", got)
+	}
+	// A volleyball player also has out:team only — predicate similarity
+	// cannot distinguish sports (that is the taxonomy's/embeddings' job).
+	if got := pj.Score(santo, volley); got != MaxJaccard {
+		t.Errorf("σ(player, volleyball player) = %v, want cap", got)
+	}
+}
+
+func TestPredicateJaccardIsolated(t *testing.T) {
+	g := fixtureGraph()
+	lonely := g.AddEntity("lonely", "")
+	pj := NewPredicateJaccard(g)
+	if got := pj.Score(lonely, ent(t, g, "santo")); got != 0 {
+		t.Errorf("σ(isolated, connected) = %v, want 0", got)
+	}
+	if got := pj.Score(lonely, lonely); got != 1 {
+		t.Errorf("σ(isolated, itself) = %v, want 1", got)
+	}
+}
+
+func TestPredicateJaccardSymmetric(t *testing.T) {
+	g := fixtureGraph()
+	pj := NewPredicateJaccard(g)
+	a, b := ent(t, g, "santo"), ent(t, g, "cubs")
+	if pj.Score(a, b) != pj.Score(b, a) {
+		t.Error("predicate Jaccard not symmetric")
+	}
+}
+
+func TestEngineWithPredicateSimilarity(t *testing.T) {
+	l, g := fixtureLake(t)
+	eng := NewEngine(l, NewPredicateJaccard(g))
+	q := queryOf(t, g, "santo", "cubs")
+	results, _ := eng.Search(q, -1)
+	if len(results) == 0 || results[0].Table != 0 {
+		t.Fatalf("predicate-σ search = %v, want table 0 first", results)
+	}
+}

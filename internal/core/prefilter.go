@@ -1,0 +1,386 @@
+package core
+
+import (
+	"sort"
+
+	"thetis/internal/embedding"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/lsh"
+)
+
+// LSEIConfig parameterizes a Locality-Sensitive Entity Index (Section 6).
+// The paper denotes configurations as (Vectors, BandSize) pairs, e.g.
+// (32, 8), (128, 8), and the recommended (30, 10).
+type LSEIConfig struct {
+	// Vectors is the number of MinHash permutations (type index) or random
+	// projections (embedding index).
+	Vectors int
+	// BandSize is the number of signature positions per band.
+	BandSize int
+	// FrequentTypeThreshold drops types occurring in more than this
+	// fraction of tables before shingling (types index only). The paper
+	// uses 0.5: "a type that describes more than half of the entities
+	// cannot be really informative". Zero means the default 0.5.
+	FrequentTypeThreshold float64
+	// ColumnAggregation indexes one aggregated signature per table column
+	// instead of one per entity (the space optimization of Section 6.2).
+	ColumnAggregation bool
+	// Seed fixes the random permutations/projections.
+	Seed int64
+}
+
+// DefaultLSEIConfig returns the paper's recommended (30, 10) configuration.
+func DefaultLSEIConfig() LSEIConfig {
+	return LSEIConfig{Vectors: 30, BandSize: 10, FrequentTypeThreshold: 0.5, Seed: 1}
+}
+
+// LSEI prefilters the table search space: querying it with the entities of
+// a query returns the subset of tables worth scoring, cutting runtime by up
+// to 17× in the paper without reducing NDCG.
+type LSEI struct {
+	cfg   LSEIConfig
+	lake  *lake.Lake
+	index *lsh.Index
+
+	// Entity-level mode: items inserted into the LSH index are entity IDs;
+	// tables are reached through the lake's posting lists.
+	// Column-aggregation mode: items are dense column UIDs mapped to their
+	// table by colTable.
+	columnMode bool
+	colTable   []lake.TableID
+	// indexed tracks which entities have signatures (entity mode), so
+	// incremental AddTable only inserts new ones.
+	indexed map[kg.EntityID]bool
+
+	// Exactly one of the signature sources is set.
+	minHash    *lsh.MinHasher
+	typeFilter map[kg.TypeID]bool // frequent types to drop
+	typeSets   *TypeJaccard
+
+	hyper *lsh.HyperplaneHasher
+	cos   *EmbeddingCosine
+}
+
+// BuildTypeLSEI indexes every distinct lake entity (or every table column)
+// by the MinHash signature of its type-pair shingles.
+func BuildTypeLSEI(l *lake.Lake, tj *TypeJaccard, cfg LSEIConfig) *LSEI {
+	if cfg.FrequentTypeThreshold == 0 {
+		cfg.FrequentTypeThreshold = 0.5
+	}
+	x := &LSEI{
+		cfg:        cfg,
+		lake:       l,
+		index:      lsh.NewIndex(cfg.Vectors, cfg.BandSize),
+		columnMode: cfg.ColumnAggregation,
+		minHash:    lsh.NewMinHasher(cfg.Vectors, cfg.Seed),
+		typeSets:   tj,
+		typeFilter: frequentTypes(l, tj, cfg.FrequentTypeThreshold),
+	}
+	if x.columnMode {
+		x.buildTypeColumns()
+	} else {
+		x.indexed = make(map[kg.EntityID]bool)
+		for _, e := range l.DistinctEntities() {
+			x.insertEntity(e)
+		}
+	}
+	return x
+}
+
+// BuildEmbeddingLSEI indexes every distinct lake entity (or every table
+// column) by the hyperplane signature of its embedding. Entities without an
+// embedding are skipped; their tables remain reachable through co-occurring
+// entities.
+func BuildEmbeddingLSEI(l *lake.Lake, ec *EmbeddingCosine, dim int, cfg LSEIConfig) *LSEI {
+	x := &LSEI{
+		cfg:        cfg,
+		lake:       l,
+		index:      lsh.NewIndex(cfg.Vectors, cfg.BandSize),
+		columnMode: cfg.ColumnAggregation,
+		hyper:      lsh.NewHyperplaneHasher(cfg.Vectors, dim, cfg.Seed),
+		cos:        ec,
+	}
+	if x.columnMode {
+		x.buildEmbeddingColumns()
+	} else {
+		x.indexed = make(map[kg.EntityID]bool)
+		for _, e := range l.DistinctEntities() {
+			x.insertEntity(e)
+		}
+	}
+	return x
+}
+
+// insertEntity indexes one entity's signature (entity mode). Entities with
+// no indexable representation are remembered but not inserted.
+func (x *LSEI) insertEntity(e kg.EntityID) {
+	if x.indexed[e] {
+		return
+	}
+	x.indexed[e] = true
+	if x.minHash != nil {
+		sh := x.typeShingles([]kg.EntityID{e})
+		if len(sh) == 0 {
+			return
+		}
+		x.index.Insert(uint32(e), x.minHash.Signature(sh))
+		return
+	}
+	if v := x.cos.Vector(e); v != nil {
+		x.index.Insert(uint32(e), x.hyper.Signature(v))
+	}
+}
+
+// AddTable incrementally indexes a table ingested after the LSEI was
+// built, implementing the semantic-data-lake principle that new datasets
+// are added effortlessly. In entity mode, only entities unseen so far get
+// new signatures (known entities already reach the table through the
+// lake's posting lists); in column-aggregation mode, the table's columns
+// are appended. The frequent-type filter computed at build time is kept as
+// an approximation. Not safe to call concurrently with Candidates.
+func (x *LSEI) AddTable(tid lake.TableID) {
+	t := x.lake.Table(tid)
+	if !x.columnMode {
+		for _, e := range t.Entities() {
+			x.insertEntity(e)
+		}
+		return
+	}
+	for j := 0; j < t.NumColumns(); j++ {
+		ents := t.ColumnEntities(j)
+		if len(ents) == 0 {
+			continue
+		}
+		var sig []uint32
+		if x.minHash != nil {
+			sig = x.minHash.Signature(x.typeShingles(ents))
+		} else {
+			sig = x.groupSignature(ents)
+			if sig == nil {
+				continue
+			}
+		}
+		x.index.Insert(uint32(len(x.colTable)), sig)
+		x.colTable = append(x.colTable, tid)
+	}
+}
+
+// frequentTypes returns the types present in more than threshold of all
+// tables (computed over expanded type sets).
+func frequentTypes(l *lake.Lake, tj *TypeJaccard, threshold float64) map[kg.TypeID]bool {
+	tableCount := make(map[kg.TypeID]int)
+	for _, t := range l.Tables() {
+		seen := make(map[kg.TypeID]bool)
+		for _, e := range t.Entities() {
+			for _, ty := range tj.TypeSet(e) {
+				seen[ty] = true
+			}
+		}
+		for ty := range seen {
+			tableCount[ty]++
+		}
+	}
+	limit := threshold * float64(l.NumTables())
+	out := make(map[kg.TypeID]bool)
+	for ty, c := range tableCount {
+		if float64(c) > limit {
+			out[ty] = true
+		}
+	}
+	return out
+}
+
+// typeShingles merges the filtered type sets of the given entities and
+// shingles them pairwise.
+func (x *LSEI) typeShingles(ents []kg.EntityID) []uint64 {
+	var merged []uint32
+	for _, e := range ents {
+		for _, ty := range x.typeSets.TypeSet(e) {
+			if !x.typeFilter[ty] {
+				merged = append(merged, uint32(ty))
+			}
+		}
+	}
+	return lsh.TypePairShingles(merged)
+}
+
+func (x *LSEI) buildTypeColumns() {
+	for tid, t := range x.lake.Tables() {
+		for j := 0; j < t.NumColumns(); j++ {
+			ents := t.ColumnEntities(j)
+			if len(ents) == 0 {
+				continue
+			}
+			sig := x.minHash.Signature(x.typeShingles(ents))
+			x.index.Insert(uint32(len(x.colTable)), sig)
+			x.colTable = append(x.colTable, lake.TableID(tid))
+		}
+	}
+}
+
+func (x *LSEI) buildEmbeddingColumns() {
+	for tid, t := range x.lake.Tables() {
+		for j := 0; j < t.NumColumns(); j++ {
+			var vecs []embedding.Vector
+			for _, e := range t.ColumnEntities(j) {
+				if v := x.cos.Vector(e); v != nil {
+					vecs = append(vecs, v)
+				}
+			}
+			if len(vecs) == 0 {
+				continue
+			}
+			sig := x.hyper.Signature(embedding.Mean(vecs))
+			x.index.Insert(uint32(len(x.colTable)), sig)
+			x.colTable = append(x.colTable, lake.TableID(tid))
+		}
+	}
+}
+
+// entitySignature computes the probe signature for one query entity, or
+// nil when the entity has no indexable representation.
+func (x *LSEI) entitySignature(e kg.EntityID) []uint32 {
+	if x.minHash != nil {
+		sh := x.typeShingles([]kg.EntityID{e})
+		if len(sh) == 0 {
+			return nil
+		}
+		return x.minHash.Signature(sh)
+	}
+	v := x.cos.Vector(e)
+	if v == nil {
+		return nil
+	}
+	return x.hyper.Signature(v)
+}
+
+// Candidates returns the prefiltered table set for a query: each query
+// entity probes the index, colliding entities (or columns) vote for their
+// tables, and tables reaching the vote threshold for at least one query
+// entity survive. votes <= 1 disables voting. The result is sorted by
+// table ID.
+func (x *LSEI) Candidates(q Query, votes int) []lake.TableID {
+	if votes < 1 {
+		votes = 1
+	}
+	out := make(map[lake.TableID]bool)
+	for _, e := range q.DistinctEntities() {
+		sig := x.entitySignature(e)
+		if sig == nil {
+			continue
+		}
+		bag := make(map[lake.TableID]int)
+		if x.columnMode {
+			for col := range x.index.QuerySet(sig) {
+				bag[x.colTable[col]]++
+			}
+		} else {
+			for item := range x.index.QuerySet(sig) {
+				for _, tid := range x.lake.TablesWith(kg.EntityID(item)) {
+					bag[tid]++
+				}
+			}
+		}
+		for tid, n := range bag {
+			if n >= votes {
+				out[tid] = true
+			}
+		}
+	}
+	ids := make([]lake.TableID, 0, len(out))
+	for tid := range out {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CandidatesAggregated is Candidates with query-side column aggregation
+// (the final optimization of Section 6.2): the entities at each tuple
+// position are merged into one probe signature — a merged type set, or a
+// mean embedding — so a multi-tuple query costs as many LSH lookups as a
+// 1-tuple query, trading a further approximation for lookup cost.
+func (x *LSEI) CandidatesAggregated(q Query, votes int) []lake.TableID {
+	if votes < 1 {
+		votes = 1
+	}
+	width := 0
+	for _, t := range q {
+		if len(t) > width {
+			width = len(t)
+		}
+	}
+	out := make(map[lake.TableID]bool)
+	for col := 0; col < width; col++ {
+		var ents []kg.EntityID
+		for _, t := range q {
+			if col < len(t) {
+				ents = append(ents, t[col])
+			}
+		}
+		sig := x.groupSignature(ents)
+		if sig == nil {
+			continue
+		}
+		bag := make(map[lake.TableID]int)
+		if x.columnMode {
+			for c := range x.index.QuerySet(sig) {
+				bag[x.colTable[c]]++
+			}
+		} else {
+			for item := range x.index.QuerySet(sig) {
+				for _, tid := range x.lake.TablesWith(kg.EntityID(item)) {
+					bag[tid]++
+				}
+			}
+		}
+		for tid, n := range bag {
+			if n >= votes {
+				out[tid] = true
+			}
+		}
+	}
+	ids := make([]lake.TableID, 0, len(out))
+	for tid := range out {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// groupSignature computes one probe signature for a group of entities:
+// merged type shingles, or the mean of available embeddings.
+func (x *LSEI) groupSignature(ents []kg.EntityID) []uint32 {
+	if x.minHash != nil {
+		sh := x.typeShingles(ents)
+		if len(sh) == 0 {
+			return nil
+		}
+		return x.minHash.Signature(sh)
+	}
+	var vecs []embedding.Vector
+	for _, e := range ents {
+		if v := x.cos.Vector(e); v != nil {
+			vecs = append(vecs, v)
+		}
+	}
+	m := embedding.Mean(vecs)
+	if m == nil {
+		return nil
+	}
+	return x.hyper.Signature(m)
+}
+
+// Reduction returns the search-space reduction achieved by a candidate set
+// against the full lake, the metric of Table 4 (e.g. 0.886 = 88.6%).
+func (x *LSEI) Reduction(candidates []lake.TableID) float64 {
+	n := x.lake.NumTables()
+	if n == 0 {
+		return 0
+	}
+	return 1 - float64(len(candidates))/float64(n)
+}
+
+// NumBuckets exposes the underlying index's bucket count (diagnostics).
+func (x *LSEI) NumBuckets() int { return x.index.NumBuckets() }

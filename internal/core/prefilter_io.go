@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/lsh"
+)
+
+// LSEI persistence: a built index can be written to disk and reloaded
+// against the same lake and similarity structures, skipping the per-entity
+// hashing pass at startup. The caller is responsible for pairing the
+// snapshot with the same corpus it was built from.
+
+const lseiMagic = uint32(0x544C5331) // "TLS1"
+
+// Write serializes the LSEI (configuration, hashers, filters, bucket
+// index). The lake itself is not serialized.
+func (x *LSEI) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	wU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := wU32(lseiMagic); err != nil {
+		return err
+	}
+	kind := uint32(0)
+	if x.minHash == nil {
+		kind = 1
+	}
+	mode := uint32(0)
+	if x.columnMode {
+		mode = 1
+	}
+	for _, v := range []uint32{kind, mode,
+		uint32(x.cfg.Vectors), uint32(x.cfg.BandSize),
+		math.Float32bits(float32(x.cfg.FrequentTypeThreshold)),
+		uint32(x.cfg.Seed)} {
+		if err := wU32(v); err != nil {
+			return err
+		}
+	}
+	// Type filter (empty for embedding indexes).
+	filter := make([]uint32, 0, len(x.typeFilter))
+	for t := range x.typeFilter {
+		filter = append(filter, uint32(t))
+	}
+	sort.Slice(filter, func(i, j int) bool { return filter[i] < filter[j] })
+	if err := wU32(uint32(len(filter))); err != nil {
+		return err
+	}
+	for _, t := range filter {
+		if err := wU32(t); err != nil {
+			return err
+		}
+	}
+	// Entity-mode indexed set / column-mode table map.
+	if x.columnMode {
+		if err := wU32(uint32(len(x.colTable))); err != nil {
+			return err
+		}
+		for _, tid := range x.colTable {
+			if err := wU32(uint32(tid)); err != nil {
+				return err
+			}
+		}
+	} else {
+		ids := make([]uint32, 0, len(x.indexed))
+		for e := range x.indexed {
+			ids = append(ids, uint32(e))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if err := wU32(uint32(len(ids))); err != nil {
+			return err
+		}
+		for _, e := range ids {
+			if err := wU32(e); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Hasher and bucket index blobs.
+	if x.minHash != nil {
+		if err := x.minHash.Write(w); err != nil {
+			return err
+		}
+	} else {
+		if err := x.hyper.Write(w); err != nil {
+			return err
+		}
+	}
+	return x.index.Write(w)
+}
+
+// lseiHeader holds the decoded fixed-size prefix.
+type lseiHeader struct {
+	kind, mode uint32
+	cfg        LSEIConfig
+}
+
+func readLSEIHeader(br *bufio.Reader) (lseiHeader, error) {
+	var h lseiHeader
+	rU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := rU32()
+	if err != nil {
+		return h, err
+	}
+	if magic != lseiMagic {
+		return h, fmt.Errorf("core: bad LSEI magic %#x", magic)
+	}
+	fields := make([]uint32, 6)
+	for i := range fields {
+		if fields[i], err = rU32(); err != nil {
+			return h, err
+		}
+	}
+	h.kind, h.mode = fields[0], fields[1]
+	h.cfg = LSEIConfig{
+		Vectors:               int(fields[2]),
+		BandSize:              int(fields[3]),
+		FrequentTypeThreshold: float64(math.Float32frombits(fields[4])),
+		ColumnAggregation:     h.mode == 1,
+		Seed:                  int64(fields[5]),
+	}
+	return h, nil
+}
+
+// LoadTypeLSEI reads a snapshot written by Write for a type index,
+// reattaching it to the lake and type sets it was built over.
+func LoadTypeLSEI(l *lake.Lake, tj *TypeJaccard, r io.Reader) (*LSEI, error) {
+	br := bufio.NewReader(r)
+	h, err := readLSEIHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if h.kind != 0 {
+		return nil, fmt.Errorf("core: snapshot holds an embedding LSEI, not a type LSEI")
+	}
+	x := &LSEI{cfg: h.cfg, lake: l, typeSets: tj, columnMode: h.mode == 1, typeFilter: map[kg.TypeID]bool{}}
+	if err := readLSEIBody(br, x); err != nil {
+		return nil, err
+	}
+	if x.minHash, err = lsh.ReadMinHasher(br); err != nil {
+		return nil, err
+	}
+	if x.index, err = lsh.ReadIndex(br); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// LoadEmbeddingLSEI reads a snapshot written by Write for an embedding
+// index.
+func LoadEmbeddingLSEI(l *lake.Lake, ec *EmbeddingCosine, r io.Reader) (*LSEI, error) {
+	br := bufio.NewReader(r)
+	h, err := readLSEIHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if h.kind != 1 {
+		return nil, fmt.Errorf("core: snapshot holds a type LSEI, not an embedding LSEI")
+	}
+	x := &LSEI{cfg: h.cfg, lake: l, cos: ec, columnMode: h.mode == 1, typeFilter: map[kg.TypeID]bool{}}
+	if err := readLSEIBody(br, x); err != nil {
+		return nil, err
+	}
+	if x.hyper, err = lsh.ReadHyperplaneHasher(br); err != nil {
+		return nil, err
+	}
+	if x.index, err = lsh.ReadIndex(br); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// readLSEIBody decodes the type filter and indexed/colTable sections.
+func readLSEIBody(br *bufio.Reader, x *LSEI) error {
+	rU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	nFilter, err := rU32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nFilter; i++ {
+		t, err := rU32()
+		if err != nil {
+			return err
+		}
+		x.typeFilter[kg.TypeID(t)] = true
+	}
+	n, err := rU32()
+	if err != nil {
+		return err
+	}
+	if x.columnMode {
+		x.colTable = make([]lake.TableID, n)
+		for i := range x.colTable {
+			v, err := rU32()
+			if err != nil {
+				return err
+			}
+			x.colTable[i] = lake.TableID(v)
+		}
+	} else {
+		x.indexed = make(map[kg.EntityID]bool, n)
+		for i := uint32(0); i < n; i++ {
+			v, err := rU32()
+			if err != nil {
+				return err
+			}
+			x.indexed[kg.EntityID(v)] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseQueryByURIAndLabel(t *testing.T) {
+	g := fixtureGraph()
+	q, err := ParseQuery(g, "santo | Chicago Cubs\nstetter|Milwaukee Brewers\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 {
+		t.Fatalf("parsed %d tuples, want 2", len(q))
+	}
+	want := Query{
+		Tuple{ent(t, g, "santo"), ent(t, g, "cubs")},
+		Tuple{ent(t, g, "stetter"), ent(t, g, "brewers")},
+	}
+	if !reflect.DeepEqual(q, want) {
+		t.Errorf("parsed = %v, want %v", q, want)
+	}
+}
+
+func TestParseQuerySkipsUnknownMentions(t *testing.T) {
+	g := fixtureGraph()
+	q, err := ParseQuery(g, "santo | Martian Dome Ball Club")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || len(q[0]) != 1 {
+		t.Fatalf("parsed = %v, want one 1-entity tuple", q)
+	}
+}
+
+func TestParseQueryAllUnknown(t *testing.T) {
+	g := fixtureGraph()
+	if _, err := ParseQuery(g, "nobody | nothing"); err == nil {
+		t.Error("fully unresolvable query did not error")
+	}
+	if _, err := ParseQuery(g, "   \n \n"); err == nil {
+		t.Error("empty query did not error")
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	g := fixtureGraph()
+	santo, cubs := ent(t, g, "santo"), ent(t, g, "cubs")
+	q := Query{Tuple{santo, cubs}, Tuple{santo}}
+	if q.NumEntities() != 3 {
+		t.Errorf("NumEntities = %d, want 3", q.NumEntities())
+	}
+	distinct := q.DistinctEntities()
+	if len(distinct) != 2 || distinct[0] != santo || distinct[1] != cubs {
+		t.Errorf("DistinctEntities = %v", distinct)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	b := []int{10, 2, 30, 40}
+	got := Complement(a, b, 4)
+	// Top halves: a[:2]={1,2}, b[:2]={10,2}; interleaved dedup: 1,10,2.
+	// Fill from tails: a[2]=3.
+	want := []int{1, 10, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Complement = %v, want %v", got, want)
+	}
+}
+
+func TestComplementShortLists(t *testing.T) {
+	got := Complement([]int{1}, []int{2}, 10)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Complement = %v", got)
+	}
+	if got := Complement(nil, []int{5, 6}, 2); !reflect.DeepEqual(got, []int{5, 6}) {
+		t.Errorf("Complement(nil, b) = %v", got)
+	}
+	if got := Complement(nil, nil, 3); len(got) != 0 {
+		t.Errorf("Complement(nil,nil) = %v", got)
+	}
+}
+
+func TestComplementUnboundedK(t *testing.T) {
+	got := Complement([]int{1, 2}, []int{3}, -1)
+	if len(got) != 3 {
+		t.Errorf("unbounded Complement = %v", got)
+	}
+}
+
+func TestComplementNeverExceedsK(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	b := []int{6, 7, 8, 9, 10}
+	for k := 0; k <= 10; k++ {
+		if got := Complement(a, b, k); len(got) > k {
+			t.Errorf("k=%d: len=%d", k, len(got))
+		}
+	}
+}
+
+func TestAggregationString(t *testing.T) {
+	if AggregateMax.String() != "max" || AggregateAvg.String() != "avg" {
+		t.Error("Aggregation.String wrong")
+	}
+}

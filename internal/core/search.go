@@ -1,0 +1,158 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+)
+
+func kgEntity(x uint32) kg.EntityID { return kg.EntityID(x) }
+
+// Engine is the semantic table search engine of Algorithm 1. Configure it
+// with a similarity σ (types or embeddings), an informativeness weighting,
+// and a row aggregation, then call Search. An Engine is safe for concurrent
+// searches.
+type Engine struct {
+	Lake *lake.Lake
+	Sim  Similarity
+	Inf  Informativeness
+	Agg  Aggregation
+	// Mode selects Algorithm 1's entity-wise aggregation (default) or the
+	// pairwise tuple-to-tuple reading of Equation 1.
+	Mode ScoreMode
+	// Mapping selects the query-to-column assignment algorithm (Hungarian
+	// by default; greedy as a cheaper, suboptimal ablation).
+	Mapping MappingMethod
+	// Parallelism bounds the scoring worker count; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// NewEngine builds an engine with IDF informativeness and MAX aggregation,
+// the configuration the paper recommends.
+func NewEngine(l *lake.Lake, sim Similarity) *Engine {
+	return &Engine{Lake: l, Sim: sim, Inf: IDFInformativeness(l), Agg: AggregateMax}
+}
+
+// Result is one scored table.
+type Result struct {
+	Table lake.TableID
+	Score float64
+}
+
+// Stats reports how a search spent its time, backing the runtime
+// experiments of Section 7.3.
+type Stats struct {
+	// Candidates is the number of tables considered (after prefiltering).
+	Candidates int
+	// Scored is the number of tables with SemRel > 0.
+	Scored int
+	// MappingTime is the cumulative time spent in the query-to-column
+	// assignment μ across all tables.
+	MappingTime time.Duration
+	// TotalTime is the wall-clock duration of the search.
+	TotalTime time.Duration
+}
+
+// Search scores every table of the lake against q and returns the top-k
+// results (k < 0 returns all) in descending score order. Tables with
+// SemRel(Q,T) = 0 are never returned.
+func (eng *Engine) Search(q Query, k int) ([]Result, Stats) {
+	return eng.SearchCandidates(q, nil, k)
+}
+
+// SearchCandidates is Search restricted to a candidate table set (nil =
+// the whole lake), the entry point used after LSEI prefiltering.
+func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) ([]Result, Stats) {
+	start := time.Now()
+	if candidates == nil {
+		candidates = make([]lake.TableID, eng.Lake.NumTables())
+		for i := range candidates {
+			candidates[i] = lake.TableID(i)
+		}
+	}
+	stats := Stats{Candidates: len(candidates)}
+	if len(q) == 0 || len(candidates) == 0 {
+		stats.TotalTime = time.Since(start)
+		return nil, stats
+	}
+
+	workers := eng.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	type partial struct {
+		results []Result
+		mapping time.Duration
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Each worker gets its own scorer: σ caches are not shared.
+			sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
+			for _, tid := range candidates[lo:hi] {
+				score, mt := sc.scoreTable(eng.Lake.Table(tid))
+				parts[w].mapping += mt
+				if score > 0 {
+					parts[w].results = append(parts[w].results, Result{Table: tid, Score: score})
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var results []Result
+	for _, p := range parts {
+		results = append(results, p.results...)
+		stats.MappingTime += p.mapping
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Table < results[j].Table
+	})
+	stats.Scored = len(results)
+	if k >= 0 && len(results) > k {
+		results = results[:k]
+	}
+	stats.TotalTime = time.Since(start)
+	return results, stats
+}
+
+// ScoreTable computes SemRel(Q, T) for a single table, returning the score
+// and the time spent in the column-mapping step (the microbenchmark of
+// Section 7.3).
+func (eng *Engine) ScoreTable(q Query, tid lake.TableID) (float64, time.Duration) {
+	sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
+	return sc.scoreTable(eng.Lake.Table(tid))
+}
+
+// RankedTables projects results onto table IDs as plain ints, the shape the
+// metrics package consumes.
+func RankedTables(results []Result) []int {
+	out := make([]int, len(results))
+	for i, r := range results {
+		out[i] = int(r.Table)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package core implements the paper's primary contribution: the semantic
+// relevance score SemRel between entity-tuple queries and data lake tables
+// (Section 4), the Hungarian query-to-column mapping (Section 5.1), the
+// exact table search of Algorithm 1 (Section 5.3), and the LSH-based
+// prefiltering of Section 6.
+package core
+
+import (
+	"thetis/internal/embedding"
+	"thetis/internal/kg"
+)
+
+// Similarity is the entity semantic similarity σ : N × N → [0, 1] of
+// Section 4.1, with σ(e, e) = 1. Implementations must be safe for
+// concurrent use.
+type Similarity interface {
+	// Score returns the semantic similarity of two entities in [0, 1].
+	Score(a, b kg.EntityID) float64
+}
+
+// MaxJaccard caps the adjusted type-Jaccard similarity for non-identical
+// entities (Equation 4 of the paper).
+const MaxJaccard = 0.95
+
+// TypeJaccard scores entities by the adjusted Jaccard similarity of their
+// (taxonomy-expanded) type sets: 1 for identical entities, otherwise the
+// Jaccard of the type sets capped at 0.95. Type sets are precomputed and
+// sorted so Score runs a linear merge.
+type TypeJaccard struct {
+	types [][]kg.TypeID
+}
+
+// NewTypeJaccard precomputes expanded type sets for every entity of g.
+// Expansion through the taxonomy mirrors DBpedia's materialized types,
+// where entities carry "multiple types at different levels of granularity".
+func NewTypeJaccard(g *kg.Graph) *TypeJaccard {
+	tj := &TypeJaccard{types: make([][]kg.TypeID, g.NumEntities())}
+	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
+		tj.types[e] = g.ExpandedTypes(e)
+	}
+	return tj
+}
+
+// TypeSet returns the expanded, sorted type set of e. The slice is owned by
+// the receiver. Entities added to the graph after construction have an
+// empty set; rebuild the TypeJaccard to pick them up.
+func (tj *TypeJaccard) TypeSet(e kg.EntityID) []kg.TypeID {
+	if int(e) >= len(tj.types) {
+		return nil
+	}
+	return tj.types[e]
+}
+
+// Score implements Similarity per Equation 4.
+func (tj *TypeJaccard) Score(a, b kg.EntityID) float64 {
+	if a == b {
+		return 1
+	}
+	ta, tb := tj.TypeSet(a), tj.TypeSet(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch {
+		case ta[i] == tb[j]:
+			inter++
+			i++
+			j++
+		case ta[i] < tb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	jac := float64(inter) / float64(union)
+	if jac > MaxJaccard {
+		return MaxJaccard
+	}
+	return jac
+}
+
+// EmbeddingCosine scores entities by the cosine similarity of their
+// embedding vectors, clamped to [0, 1] to satisfy the σ contract (negative
+// cosine means "unrelated", not "negatively relevant"). Vectors are
+// unit-normalized once at construction so Score is a single dot product.
+// Entities without an embedding have similarity 0 to everything but
+// themselves.
+type EmbeddingCosine struct {
+	store *embedding.Store
+	norm  []embedding.Vector // normalized copies; nil when absent
+}
+
+// NewEmbeddingCosine precomputes unit-normalized vectors from store.
+func NewEmbeddingCosine(g *kg.Graph, store *embedding.Store) *EmbeddingCosine {
+	ec := &EmbeddingCosine{store: store, norm: make([]embedding.Vector, g.NumEntities())}
+	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
+		if v, ok := store.Get(e); ok {
+			c := append(embedding.Vector(nil), v...)
+			ec.norm[e] = embedding.Normalize(c)
+		}
+	}
+	return ec
+}
+
+// Vector returns the unit-normalized embedding of e, or nil when absent.
+func (ec *EmbeddingCosine) Vector(e kg.EntityID) embedding.Vector {
+	if int(e) >= len(ec.norm) {
+		return nil
+	}
+	return ec.norm[e]
+}
+
+// Score implements Similarity.
+func (ec *EmbeddingCosine) Score(a, b kg.EntityID) float64 {
+	if a == b {
+		return 1
+	}
+	va, vb := ec.Vector(a), ec.Vector(b)
+	if va == nil || vb == nil {
+		return 0
+	}
+	cos := embedding.Dot(va, vb)
+	if cos <= 0 {
+		return 0
+	}
+	if cos > 1 {
+		return 1
+	}
+	return cos
+}

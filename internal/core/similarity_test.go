@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"thetis/internal/embedding"
+	"thetis/internal/kg"
+)
+
+// fixtureGraph builds a small sports KG with a taxonomy:
+//
+//	Thing ── Agent ── Person ── Athlete ── {BaseballPlayer, VolleyballPlayer}
+//	              └── Organisation ── SportsTeam ── {BaseballTeam, VolleyballTeam}
+//	Thing ── Place ── City
+func fixtureGraph() *kg.Graph {
+	g := kg.NewGraph()
+	thing := g.AddType("Thing", "")
+	agent := g.AddType("Agent", "")
+	person := g.AddType("Person", "")
+	athlete := g.AddType("Athlete", "")
+	bp := g.AddType("BaseballPlayer", "")
+	vp := g.AddType("VolleyballPlayer", "")
+	org := g.AddType("Organisation", "")
+	st := g.AddType("SportsTeam", "")
+	bt := g.AddType("BaseballTeam", "")
+	vt := g.AddType("VolleyballTeam", "")
+	place := g.AddType("Place", "")
+	city := g.AddType("City", "")
+	g.AddSubtype(agent, thing)
+	g.AddSubtype(person, agent)
+	g.AddSubtype(athlete, person)
+	g.AddSubtype(bp, athlete)
+	g.AddSubtype(vp, athlete)
+	g.AddSubtype(org, agent)
+	g.AddSubtype(st, org)
+	g.AddSubtype(bt, st)
+	g.AddSubtype(vt, st)
+	g.AddSubtype(place, thing)
+	g.AddSubtype(city, place)
+
+	addTyped := func(uri, label string, t kg.TypeID) kg.EntityID {
+		e := g.AddEntity(uri, label)
+		g.AssignType(e, t)
+		return e
+	}
+	addTyped("santo", "Ron Santo", bp)
+	addTyped("stetter", "Mitch Stetter", bp)
+	addTyped("volley1", "Vera Volley", vp)
+	addTyped("cubs", "Chicago Cubs", bt)
+	addTyped("brewers", "Milwaukee Brewers", bt)
+	addTyped("volleyteam", "Smash City", vt)
+	addTyped("chicago", "Chicago", city)
+	addTyped("milwaukee", "Milwaukee", city)
+
+	team := g.AddPredicate("team")
+	cityOf := g.AddPredicate("city")
+	mustLookup := func(uri string) kg.EntityID {
+		e, ok := g.Lookup(uri)
+		if !ok {
+			panic(uri)
+		}
+		return e
+	}
+	g.AddEdge(mustLookup("santo"), team, mustLookup("cubs"))
+	g.AddEdge(mustLookup("stetter"), team, mustLookup("brewers"))
+	g.AddEdge(mustLookup("volley1"), team, mustLookup("volleyteam"))
+	g.AddEdge(mustLookup("cubs"), cityOf, mustLookup("chicago"))
+	g.AddEdge(mustLookup("brewers"), cityOf, mustLookup("milwaukee"))
+	return g
+}
+
+func ent(t *testing.T, g *kg.Graph, uri string) kg.EntityID {
+	t.Helper()
+	e, ok := g.Lookup(uri)
+	if !ok {
+		t.Fatalf("fixture entity %q missing", uri)
+	}
+	return e
+}
+
+func TestTypeJaccardIdentity(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	santo := ent(t, g, "santo")
+	if got := tj.Score(santo, santo); got != 1 {
+		t.Errorf("σ(e,e) = %v, want 1", got)
+	}
+}
+
+func TestTypeJaccardCapAt95(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	santo, stetter := ent(t, g, "santo"), ent(t, g, "stetter")
+	got := tj.Score(santo, stetter)
+	if got != MaxJaccard {
+		t.Errorf("σ(two baseball players) = %v, want cap %v", got, MaxJaccard)
+	}
+}
+
+func TestTypeJaccardOrdering(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	santo := ent(t, g, "santo")
+	volley := ent(t, g, "volley1")
+	cubs := ent(t, g, "cubs")
+	chicago := ent(t, g, "chicago")
+	// A volleyball player shares Athlete..Thing with a baseball player;
+	// a city shares only Thing.
+	samePos := tj.Score(santo, volley)
+	diffDomain := tj.Score(santo, chicago)
+	if !(samePos > diffDomain) {
+		t.Errorf("σ(player,player')=%v should exceed σ(player,city)=%v", samePos, diffDomain)
+	}
+	if team := tj.Score(santo, cubs); !(samePos > team) {
+		t.Errorf("σ(player,player')=%v should exceed σ(player,team)=%v", samePos, team)
+	}
+	if diffDomain <= 0 {
+		t.Errorf("entities sharing Thing should have σ>0, got %v", diffDomain)
+	}
+}
+
+func TestTypeJaccardSymmetric(t *testing.T) {
+	g := fixtureGraph()
+	tj := NewTypeJaccard(g)
+	a, b := ent(t, g, "santo"), ent(t, g, "chicago")
+	if tj.Score(a, b) != tj.Score(b, a) {
+		t.Error("type Jaccard not symmetric")
+	}
+}
+
+func TestTypeJaccardUntypedEntity(t *testing.T) {
+	g := fixtureGraph()
+	bare := g.AddEntity("bare", "")
+	tj := NewTypeJaccard(g)
+	if got := tj.Score(bare, ent(t, g, "santo")); got != 0 {
+		t.Errorf("σ(untyped, typed) = %v, want 0", got)
+	}
+	if got := tj.Score(bare, bare); got != 1 {
+		t.Errorf("σ(untyped, itself) = %v, want 1", got)
+	}
+}
+
+func TestEmbeddingCosineClampsAndIdentity(t *testing.T) {
+	g := fixtureGraph()
+	store := embedding.NewStore(g.NumEntities(), 2)
+	a, b, c := ent(t, g, "santo"), ent(t, g, "stetter"), ent(t, g, "volley1")
+	store.Set(a, embedding.Vector{1, 0})
+	store.Set(b, embedding.Vector{1, 0.1})
+	store.Set(c, embedding.Vector{-1, 0})
+	ec := NewEmbeddingCosine(g, store)
+	if got := ec.Score(a, a); got != 1 {
+		t.Errorf("σ(e,e) = %v", got)
+	}
+	if got := ec.Score(a, b); got < 0.9 || got > 1 {
+		t.Errorf("σ(near) = %v, want ~0.995", got)
+	}
+	if got := ec.Score(a, c); got != 0 {
+		t.Errorf("σ(opposite) = %v, want clamped 0", got)
+	}
+	// Missing embedding -> 0 (but identity still 1).
+	missing := ent(t, g, "cubs")
+	if got := ec.Score(a, missing); got != 0 {
+		t.Errorf("σ(has, missing) = %v, want 0", got)
+	}
+	if got := ec.Score(missing, missing); got != 1 {
+		t.Errorf("σ(missing, itself) = %v, want 1", got)
+	}
+}
+
+func TestEmbeddingCosineVectorNormalized(t *testing.T) {
+	g := fixtureGraph()
+	store := embedding.NewStore(g.NumEntities(), 2)
+	a := ent(t, g, "santo")
+	store.Set(a, embedding.Vector{3, 4})
+	ec := NewEmbeddingCosine(g, store)
+	v := ec.Vector(a)
+	if math.Abs(embedding.Norm(v)-1) > 1e-6 {
+		t.Errorf("stored vector not normalized: |v| = %v", embedding.Norm(v))
+	}
+	if ec.Vector(kg.EntityID(10_000)) != nil {
+		t.Error("out-of-range Vector should be nil")
+	}
+}

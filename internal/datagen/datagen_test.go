@@ -1,0 +1,298 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+func smallKGConfig() KGConfig {
+	return KGConfig{
+		Domains:            3,
+		LeafTypesPerDomain: 2,
+		MembersPerLeafType: 30,
+		GroupsPerDomain:    5,
+		Places:             10,
+		EdgesPerMember:     2,
+		Seed:               7,
+	}
+}
+
+func TestGenerateKGStructure(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	if len(k.Domains) != 3 {
+		t.Fatalf("domains = %d", len(k.Domains))
+	}
+	if len(k.Places) != 10 {
+		t.Fatalf("places = %d", len(k.Places))
+	}
+	wantEntities := 10 + 3*(5+2*30) // places + per-domain groups+members
+	if k.Graph.NumEntities() != wantEntities {
+		t.Errorf("entities = %d, want %d", k.Graph.NumEntities(), wantEntities)
+	}
+	for _, d := range k.Domains {
+		if len(d.Groups) != 5 || len(d.Members) != 2 {
+			t.Errorf("domain %s shape: %d groups, %d member types", d.Name, len(d.Groups), len(d.Members))
+		}
+		for _, members := range d.Members {
+			for _, m := range members {
+				if _, ok := d.Home[m]; !ok {
+					t.Fatalf("member %d has no home group", m)
+				}
+			}
+		}
+		for _, g := range d.Groups {
+			if _, ok := k.PlaceOf[g]; !ok {
+				t.Fatalf("group %d has no place", g)
+			}
+		}
+	}
+}
+
+func TestGenerateKGDeterministic(t *testing.T) {
+	a := GenerateKG(smallKGConfig())
+	b := GenerateKG(smallKGConfig())
+	if a.Graph.NumEntities() != b.Graph.NumEntities() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Error("KG generation not deterministic")
+	}
+	// Same labels for same IDs.
+	for e := kg.EntityID(0); int(e) < a.Graph.NumEntities(); e++ {
+		if a.Graph.Label(e) != b.Graph.Label(e) {
+			t.Fatalf("label mismatch at %d", e)
+		}
+	}
+}
+
+func TestGenerateKGTypeGranularity(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	// A member entity must expand to at least: leaf, domain person,
+	// Person, Agent, Thing.
+	m := k.Domains[0].Members[0][0]
+	if n := len(k.Graph.ExpandedTypes(m)); n < 5 {
+		t.Errorf("member expanded types = %d, want >= 5", n)
+	}
+}
+
+func TestGenerateCorpusProfile(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	p := ProfileWT2015(200)
+	l := GenerateCorpus(k, p)
+	s := l.ComputeStats()
+	if s.Tables != 200 {
+		t.Fatalf("tables = %d", s.Tables)
+	}
+	if math.Abs(s.MeanRows-float64(p.MeanRows)) > float64(p.MeanRows)/3 {
+		t.Errorf("mean rows = %v, want ~%d", s.MeanRows, p.MeanRows)
+	}
+	if math.Abs(s.MeanColumns-float64(p.MeanCols)) > float64(p.MeanCols)/3 {
+		t.Errorf("mean cols = %v, want ~%d", s.MeanColumns, p.MeanCols)
+	}
+	if math.Abs(s.MeanCoverage-p.Coverage) > 0.08 {
+		t.Errorf("coverage = %v, want ~%v", s.MeanCoverage, p.Coverage)
+	}
+}
+
+func TestGenerateCorpusCategories(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	l := GenerateCorpus(k, ProfileWT2015(50))
+	for _, tb := range l.Tables() {
+		if len(tb.Categories) < 2 {
+			t.Fatalf("table %q categories = %v, want domain + groups", tb.Name, tb.Categories)
+		}
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	a := GenerateCorpus(k, ProfileWT2015(30))
+	b := GenerateCorpus(k, ProfileWT2015(30))
+	for i := range a.Tables() {
+		ta, tb := a.Table(lakeID(i)), b.Table(lakeID(i))
+		if ta.Name != tb.Name || ta.NumRows() != tb.NumRows() {
+			t.Fatal("corpus generation not deterministic")
+		}
+	}
+}
+
+func TestProfilePresets(t *testing.T) {
+	if p := ProfileWT2019(10); p.Coverage >= ProfileWT2015(10).Coverage {
+		t.Error("WT2019 must have lower coverage than WT2015")
+	}
+	if p := ProfileGitTables(10); p.MeanRows <= ProfileWT2015(10).MeanRows {
+		t.Error("GitTables must have larger tables")
+	}
+}
+
+func TestExpandCorpus(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	src := GenerateCorpus(k, ProfileWT2015(20))
+	big := ExpandCorpus(src, 2, 99)
+	if big.NumTables() != 60 {
+		t.Fatalf("expanded tables = %d, want 60", big.NumTables())
+	}
+	// Synthetic tables keep schema and a subset of rows.
+	syn := big.Table(lakeID(25))
+	orig := big.Table(lakeID(5))
+	if syn.NumColumns() != orig.NumColumns() {
+		t.Errorf("synthetic table changed arity")
+	}
+	if syn.NumRows() > orig.NumRows() {
+		t.Errorf("synthetic table has more rows (%d) than source (%d)", syn.NumRows(), orig.NumRows())
+	}
+	if len(syn.Categories) != len(orig.Categories) {
+		t.Error("synthetic table lost categories")
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	qs := GenerateQueries(k, QueryConfig{Count: 10, TuplesPerQuery: 5, Width: 3, Seed: 4})
+	if len(qs) != 10 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Query) != 5 {
+			t.Fatalf("query %s has %d tuples", q.Name, len(q.Query))
+		}
+		for _, tup := range q.Query {
+			if len(tup) != 3 {
+				t.Fatalf("tuple width = %d", len(tup))
+			}
+		}
+		if len(q.Categories) != 2 {
+			t.Errorf("categories = %v", q.Categories)
+		}
+		if len(q.Related) < 3 {
+			t.Errorf("related set too small: %d", len(q.Related))
+		}
+		// All tuple entities must be in the related neighborhood.
+		for _, tup := range q.Query {
+			for _, e := range tup {
+				if !q.Related[e] {
+					t.Errorf("query entity %d missing from Related", e)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryTruncate(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	qs := GenerateQueries(k, QueryConfig{Count: 3, TuplesPerQuery: 5, Width: 3, Seed: 4})
+	one := qs[0].Truncate(1)
+	if len(one.Query) != 1 {
+		t.Fatalf("truncated = %d tuples", len(one.Query))
+	}
+	// 1-tuple query contained in the 5-tuple query.
+	if &one.Query[0][0] == nil || one.Query[0][0] != qs[0].Query[0][0] {
+		t.Error("truncation changed the first tuple")
+	}
+	if got := qs[0].Truncate(99); len(got.Query) != 5 {
+		t.Error("over-truncation changed length")
+	}
+}
+
+func TestKeywordQuery(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	qs := GenerateQueries(k, QueryConfig{Count: 1, TuplesPerQuery: 1, Width: 3, Seed: 4})
+	text := qs[0].KeywordQuery(k.Graph)
+	if text == "" {
+		t.Fatal("empty keyword query")
+	}
+}
+
+func TestBuildGroundTruth(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	l := GenerateCorpus(k, ProfileWT2015(100))
+	qs := GenerateQueries(k, QueryConfig{Count: 5, TuplesPerQuery: 1, Width: 3, Seed: 4})
+	for _, q := range qs {
+		gt := BuildGroundTruth(l, q)
+		if gt.NumRelevant() == 0 {
+			t.Fatalf("query %s has no relevant tables in a 100-table corpus", q.Name)
+		}
+		top := gt.TopK(10)
+		if len(top) == 0 {
+			t.Fatal("TopK empty")
+		}
+		// Grades bounded.
+		for _, g := range gt.Grades {
+			if g <= 0 || g > maxGrade+1e-9 {
+				t.Fatalf("grade %v out of range", g)
+			}
+		}
+		// Top-1 table should share the query's domain category.
+		cat := q.Categories[0]
+		tb := l.Table(lakeID(top[0]))
+		found := false
+		for _, c := range tb.Categories {
+			if c == cat {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("top GT table %q does not share domain category %q", tb.Name, cat)
+		}
+		rel := gt.RelevantSet(10)
+		if len(rel) != len(top) {
+			t.Error("RelevantSet size mismatch")
+		}
+	}
+}
+
+func TestBenchmarkRoundTrip(t *testing.T) {
+	k := GenerateKG(smallKGConfig())
+	l := GenerateCorpus(k, ProfileWT2015(30))
+	qs := GenerateQueries(k, QueryConfig{Count: 3, TuplesPerQuery: 2, Width: 3, Seed: 4})
+	dir := t.TempDir()
+	if err := WriteBenchmark(dir, k.Graph, l, qs); err != nil {
+		t.Fatal(err)
+	}
+	g2, l2, qs2, err := LoadBenchmark(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumTables() != l.NumTables() {
+		t.Fatalf("tables after round trip = %d, want %d", l2.NumTables(), l.NumTables())
+	}
+	if len(qs2) != len(qs) {
+		t.Fatalf("queries after round trip = %d, want %d", len(qs2), len(qs))
+	}
+	for i := range qs {
+		if qs2[i].Name != qs[i].Name {
+			t.Errorf("query %d name %q != %q", i, qs2[i].Name, qs[i].Name)
+		}
+		if len(qs2[i].Query) != len(qs[i].Query) {
+			t.Fatalf("query %d tuples differ", i)
+		}
+		if len(qs2[i].Related) != len(qs[i].Related) {
+			t.Errorf("query %d related set %d != %d", i, len(qs2[i].Related), len(qs[i].Related))
+		}
+		// Tuple entities must map to the same URIs.
+		for ti := range qs[i].Query {
+			for ei := range qs[i].Query[ti] {
+				want := k.Graph.URI(qs[i].Query[ti][ei])
+				got := g2.URI(qs2[i].Query[ti][ei])
+				if want != got {
+					t.Fatalf("query %d tuple %d entity %d: %q != %q", i, ti, ei, got, want)
+				}
+			}
+		}
+	}
+	// Ground truth computed on the loaded benchmark matches the original.
+	gt1 := BuildGroundTruth(l, qs[0])
+	gt2 := BuildGroundTruth(l2, qs2[0])
+	if gt1.NumRelevant() != gt2.NumRelevant() {
+		t.Errorf("GT relevant count %d != %d after round trip", gt2.NumRelevant(), gt1.NumRelevant())
+	}
+	// Link coverage preserved (annotations survived).
+	if l2.ComputeStats().MeanCoverage != l.ComputeStats().MeanCoverage {
+		t.Error("coverage changed in round trip")
+	}
+}
+
+func TestLoadBenchmarkMissingDir(t *testing.T) {
+	if _, _, _, err := LoadBenchmark("/nonexistent/dir"); err == nil {
+		t.Error("missing directory accepted")
+	}
+}

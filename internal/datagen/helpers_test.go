@@ -1,0 +1,6 @@
+package datagen
+
+import "thetis/internal/lake"
+
+// lakeID converts an int to a lake.TableID in tests.
+func lakeID(i int) lake.TableID { return lake.TableID(i) }

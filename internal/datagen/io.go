@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"thetis/internal/core"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+// Benchmark persistence: a generated benchmark (KG + annotated corpus +
+// queries with ground-truth metadata) serializes to a directory —
+//
+//	kg.nt         triples (types, labels, taxonomy, edges)
+//	corpus.jsonl  one annotated table per JSON document
+//	queries.json  entity tuples + topic categories + related-entity sets
+//
+// — and loads back for replaying experiments on a fixed corpus.
+
+// benchmarkQueryJSON is the serialized form of a BenchmarkQuery, with
+// entities as URIs so the file is self-describing.
+type benchmarkQueryJSON struct {
+	Name       string     `json:"name"`
+	Tuples     [][]string `json:"tuples"`
+	Categories []string   `json:"categories"`
+	Related    []string   `json:"related"`
+}
+
+// WriteBenchmark serializes a benchmark into dir (created if needed).
+func WriteBenchmark(dir string, g *kg.Graph, l *lake.Lake, queries []BenchmarkQuery) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "kg.nt"), func(w io.Writer) error {
+		return kg.WriteTriples(g, w)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "corpus.jsonl"), func(w io.Writer) error {
+		for _, t := range l.Tables() {
+			if err := table.WriteJSON(t, g, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, "queries.json"), func(w io.Writer) error {
+		out := make([]benchmarkQueryJSON, len(queries))
+		for i, bq := range queries {
+			j := benchmarkQueryJSON{Name: bq.Name, Categories: bq.Categories}
+			for _, t := range bq.Query {
+				tuple := make([]string, len(t))
+				for k, e := range t {
+					tuple[k] = g.URI(e)
+				}
+				j.Tuples = append(j.Tuples, tuple)
+			}
+			for e := range bq.Related {
+				j.Related = append(j.Related, g.URI(e))
+			}
+			out[i] = j
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(out)
+	})
+}
+
+func writeFile(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// LoadBenchmark reads a benchmark directory written by WriteBenchmark,
+// returning the graph, the corpus, and the annotated queries.
+func LoadBenchmark(dir string) (*kg.Graph, *lake.Lake, []BenchmarkQuery, error) {
+	g := kg.NewGraph()
+	kf, err := os.Open(filepath.Join(dir, "kg.nt"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	err = kg.LoadTriples(g, bufio.NewReader(kf))
+	kf.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("loading kg.nt: %w", err)
+	}
+
+	l := lake.New(g)
+	cf, err := os.Open(filepath.Join(dir, "corpus.jsonl"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	jr := table.NewJSONReader(g, bufio.NewReaderSize(cf, 1<<20))
+	for {
+		t, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cf.Close()
+			return nil, nil, nil, fmt.Errorf("loading corpus.jsonl: %w", err)
+		}
+		l.Add(t)
+	}
+	cf.Close()
+
+	qf, err := os.Open(filepath.Join(dir, "queries.json"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer qf.Close()
+	var raw []benchmarkQueryJSON
+	if err := json.NewDecoder(bufio.NewReader(qf)).Decode(&raw); err != nil {
+		return nil, nil, nil, fmt.Errorf("loading queries.json: %w", err)
+	}
+	queries := make([]BenchmarkQuery, 0, len(raw))
+	for _, j := range raw {
+		bq := BenchmarkQuery{Name: j.Name, Categories: j.Categories, Related: map[kg.EntityID]bool{}}
+		for _, tuple := range j.Tuples {
+			var t core.Tuple
+			for _, uri := range tuple {
+				e, ok := g.Lookup(uri)
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("query %q: unknown entity %q", j.Name, uri)
+				}
+				t = append(t, e)
+			}
+			bq.Query = append(bq.Query, t)
+		}
+		for _, uri := range j.Related {
+			e, ok := g.Lookup(uri)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("query %q: unknown related entity %q", j.Name, uri)
+			}
+			bq.Related[e] = true
+		}
+		queries = append(queries, bq)
+	}
+	return g, l, queries, nil
+}

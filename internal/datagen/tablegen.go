@@ -1,0 +1,349 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+// CorpusProfile describes the shape of a generated corpus, mirroring one
+// row of Table 2 in the paper (table count, mean rows, mean columns, mean
+// entity-link coverage).
+type CorpusProfile struct {
+	Name string
+	// NumTables is the corpus size.
+	NumTables int
+	// MeanRows and MeanCols describe the average table shape. Actual
+	// tables are drawn uniformly in [mean/2, 3·mean/2].
+	MeanRows int
+	MeanCols int
+	// Coverage is the target mean fraction of cells linked to entities.
+	Coverage float64
+	// LabelVariance is the probability that an entity cell renders a
+	// surface variant of the entity's label (surname only, initials,
+	// truncations) instead of the canonical label. Real web tables mention
+	// entities under many surface forms, which is what keeps pure keyword
+	// search from finding every relevant table.
+	LabelVariance float64
+	// Seed fixes generation.
+	Seed int64
+}
+
+// The four corpus profiles of Table 2, scaled to a configurable table
+// count (the paper's counts, 238K–1.7M, exceed a test-environment budget;
+// the scaling experiment preserves the paper's relative corpus sizes).
+func ProfileWT2015(tables int) CorpusProfile {
+	return CorpusProfile{Name: "WT2015", NumTables: tables, MeanRows: 35, MeanCols: 6, Coverage: 0.277, LabelVariance: 0.5, Seed: 2015}
+}
+
+func ProfileWT2019(tables int) CorpusProfile {
+	return CorpusProfile{Name: "WT2019", NumTables: tables, MeanRows: 24, MeanCols: 6, Coverage: 0.182, LabelVariance: 0.5, Seed: 2019}
+}
+
+func ProfileGitTables(tables int) CorpusProfile {
+	return CorpusProfile{Name: "GitTables", NumTables: tables, MeanRows: 142, MeanCols: 12, Coverage: 0.296, LabelVariance: 0.3, Seed: 33}
+}
+
+// Category tag constructors shared by table and query generation.
+func domainCategory(name string) string               { return "domain:" + name }
+func groupCategory(g *kg.Graph, e kg.EntityID) string { return "group:" + g.URI(e) }
+
+// GenerateCorpus builds a lake of profile-shaped tables over the generated
+// KG. Each table is drawn from a topic (a domain plus a few of its groups)
+// and follows one of several schema patterns (rosters, member lists, group
+// directories, matchups). Topic categories are recorded on each table for
+// ground-truth construction — the search algorithms never read them.
+func GenerateCorpus(k *KG, p CorpusProfile) *lake.Lake {
+	rng := rand.New(rand.NewSource(p.Seed))
+	l := lake.New(k.Graph)
+	gen := &tableGen{kg: k, rng: rng, profile: p}
+	gen.buildMembersByGroup()
+	for i := 0; i < p.NumTables; i++ {
+		l.Add(gen.table(i))
+	}
+	return l
+}
+
+type tableGen struct {
+	kg      *KG
+	rng     *rand.Rand
+	profile CorpusProfile
+	// initialismStyle marks tables that render every entity mention as an
+	// initialism (scorecard/code style), making them invisible to keyword
+	// search while staying fully entity-linked.
+	initialismStyle bool
+	// membersByGroup[d][group] lists the members homed at that group.
+	membersByGroup []map[kg.EntityID][]kg.EntityID
+}
+
+func (tg *tableGen) buildMembersByGroup() {
+	tg.membersByGroup = make([]map[kg.EntityID][]kg.EntityID, len(tg.kg.Domains))
+	for d := range tg.kg.Domains {
+		m := make(map[kg.EntityID][]kg.EntityID)
+		for _, members := range tg.kg.Domains[d].Members {
+			for _, e := range members {
+				m[tg.kg.Domains[d].Home[e]] = append(m[tg.kg.Domains[d].Home[e]], e)
+			}
+		}
+		tg.membersByGroup[d] = m
+	}
+}
+
+// jitter draws uniformly from [mean/2, 3·mean/2], minimum 1.
+func (tg *tableGen) jitter(mean int) int {
+	lo := mean / 2
+	if lo < 1 {
+		lo = 1
+	}
+	n := lo + tg.rng.Intn(mean+1)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// table generates one topic table.
+func (tg *tableGen) table(idx int) *table.Table {
+	d := tg.rng.Intn(len(tg.kg.Domains))
+	dom := &tg.kg.Domains[d]
+	// Topic: 1-3 groups of the domain.
+	nGroups := 1 + tg.rng.Intn(3)
+	groups := make([]kg.EntityID, 0, nGroups)
+	seen := map[kg.EntityID]bool{}
+	for len(groups) < nGroups {
+		g := dom.Groups[tg.rng.Intn(len(dom.Groups))]
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+
+	// One in five tables uses a consistent code/initialism style for all
+	// its mentions (like scorecards or ticker tables): topically relevant
+	// yet sharing no tokens with canonical entity labels. These are the
+	// tables only semantic search can find.
+	tg.initialismStyle = tg.profile.LabelVariance > 0 && tg.rng.Float64() < 0.2
+
+	rows := tg.jitter(tg.profile.MeanRows)
+	cols := tg.jitter(tg.profile.MeanCols)
+	if cols < 2 {
+		cols = 2
+	}
+
+	pattern := tg.rng.Intn(4)
+	t := tg.emit(idx, d, dom, groups, pattern, rows, cols)
+
+	t.Categories = append(t.Categories, domainCategory(dom.Name))
+	for _, g := range groups {
+		t.Categories = append(t.Categories, groupCategory(tg.kg.Graph, g))
+	}
+	return t
+}
+
+// emit builds the rows for one of the four schema patterns. Entity columns
+// come first; the remaining columns are literals. Entity cells are then
+// de-linked at random to hit the profile's coverage target.
+func (tg *tableGen) emit(idx, d int, dom *Domain, groups []kg.EntityID, pattern, rows, cols int) *table.Table {
+	g := tg.kg.Graph
+	type colSpec int
+	const (
+		colMember colSpec = iota
+		colGroup
+		colPlace
+		colLiteral
+	)
+	var spec []colSpec
+	var name string
+	switch pattern {
+	case 0: // roster: member | group | place | literals
+		name = fmt.Sprintf("%s_roster_%d", dom.Name, idx)
+		spec = []colSpec{colMember, colGroup, colPlace}
+	case 1: // member list: member | literals
+		name = fmt.Sprintf("%s_members_%d", dom.Name, idx)
+		spec = []colSpec{colMember}
+	case 2: // group directory: group | place | literals
+		name = fmt.Sprintf("%s_groups_%d", dom.Name, idx)
+		spec = []colSpec{colGroup, colPlace}
+	default: // matchups: group | group | literals
+		name = fmt.Sprintf("%s_matchups_%d", dom.Name, idx)
+		spec = []colSpec{colGroup, colGroup}
+	}
+	for len(spec) < cols {
+		spec = append(spec, colLiteral)
+	}
+	spec = spec[:cols]
+
+	attrs := make([]string, cols)
+	for j, s := range spec {
+		switch s {
+		case colMember:
+			attrs[j] = "Member"
+		case colGroup:
+			attrs[j] = "Group"
+		case colPlace:
+			attrs[j] = "Place"
+		default:
+			attrs[j] = fmt.Sprintf("Attr%d", j)
+		}
+	}
+	t := table.New(name, attrs)
+
+	members := tg.topicMembers(d, groups)
+	entityCells := 0
+	for r := 0; r < rows; r++ {
+		group := groups[tg.rng.Intn(len(groups))]
+		var member kg.EntityID
+		hasMember := false
+		if len(members) > 0 {
+			member = members[tg.rng.Intn(len(members))]
+			hasMember = true
+			// Keep rows internally consistent: the group cell shows the
+			// member's home group.
+			group = dom.Home[member]
+		}
+		cells := make([]table.Cell, cols)
+		for j, s := range spec {
+			switch s {
+			case colMember:
+				if hasMember {
+					cells[j] = table.LinkedCell(tg.surface(g.Label(member)), member)
+					entityCells++
+				} else {
+					cells[j] = table.Cell{Value: "n/a"}
+				}
+			case colGroup:
+				gr := group
+				if s == colGroup && j > 0 && spec[j-1] == colGroup {
+					// Second group column of a matchup: a different group.
+					gr = groups[tg.rng.Intn(len(groups))]
+				}
+				cells[j] = table.LinkedCell(tg.surface(g.Label(gr)), gr)
+				entityCells++
+			case colPlace:
+				pl := tg.kg.PlaceOf[group]
+				cells[j] = table.LinkedCell(tg.surface(g.Label(pl)), pl)
+				entityCells++
+			default:
+				cells[j] = table.Cell{Value: tg.literal(j)}
+			}
+		}
+		t.AppendRow(cells)
+	}
+
+	tg.delinkToCoverage(t, entityCells, rows*cols)
+	return t
+}
+
+// topicMembers unions the members of the topic groups.
+func (tg *tableGen) topicMembers(d int, groups []kg.EntityID) []kg.EntityID {
+	var out []kg.EntityID
+	for _, g := range groups {
+		out = append(out, tg.membersByGroup[d][g]...)
+	}
+	return out
+}
+
+// delinkToCoverage removes entity links uniformly at random until the
+// table's link coverage matches a per-table target whose mean is the
+// profile's coverage. Per-table variance matters: real corpora mix fully
+// annotated and barely annotated tables, which is what the coverage-cap
+// experiment of Figure 6 slices by.
+func (tg *tableGen) delinkToCoverage(t *table.Table, entityCells, totalCells int) {
+	if entityCells == 0 || totalCells == 0 {
+		return
+	}
+	target := tg.profile.Coverage + tg.rng.NormFloat64()*0.12
+	if target < 0.02 {
+		target = 0.02
+	}
+	current := float64(entityCells) / float64(totalCells)
+	if current <= target {
+		return
+	}
+	keep := target / current
+	for _, row := range t.Rows {
+		for j := range row {
+			if row[j].Linked() && tg.rng.Float64() > keep {
+				row[j].Entity = table.NoEntity
+			}
+		}
+	}
+}
+
+// surface renders an entity label as it appears in a cell: usually the
+// canonical label, but with probability LabelVariance a surface variant
+// (mention heterogeneity: surname only, initialisms, truncation).
+func (tg *tableGen) surface(label string) string {
+	fields := strings.Fields(label)
+	if tg.initialismStyle {
+		var b strings.Builder
+		for _, f := range fields {
+			b.WriteByte(f[0])
+		}
+		return b.String()
+	}
+	if tg.rng.Float64() >= tg.profile.LabelVariance {
+		return label
+	}
+	if len(fields) < 2 {
+		return label
+	}
+	switch tg.rng.Intn(4) {
+	case 0: // last token(s) only: "Santo K."
+		return strings.Join(fields[1:], " ")
+	case 1: // initial + rest: "R. Santo K."
+		return fields[0][:1] + ". " + strings.Join(fields[1:], " ")
+	case 2: // initialism sharing no tokens with the label: "RSK"
+		var b strings.Builder
+		for _, f := range fields {
+			b.WriteByte(f[0])
+		}
+		return b.String()
+	default: // first tokens only: "Ron Santo"
+		return strings.Join(fields[:len(fields)-1], " ")
+	}
+}
+
+func (tg *tableGen) literal(col int) string {
+	switch col % 3 {
+	case 0:
+		return fmt.Sprintf("%d", tg.rng.Intn(1000))
+	case 1:
+		return fmt.Sprintf("%.3f", tg.rng.Float64())
+	default:
+		return fmt.Sprintf("%d-%02d-%02d", 1950+tg.rng.Intn(75), 1+tg.rng.Intn(12), 1+tg.rng.Intn(28))
+	}
+}
+
+// ExpandCorpus applies the paper's synthetic-corpus construction (Section
+// 7.1): "for each table, we randomly select some rows and insert them into
+// a new synthetic table in random order", then includes the original
+// corpus. factor is the number of synthetic tables generated per original
+// table; the result contains (1+factor)·|src| tables.
+func ExpandCorpus(src *lake.Lake, factor int, seed int64) *lake.Lake {
+	rng := rand.New(rand.NewSource(seed))
+	out := lake.New(src.Graph)
+	for _, t := range src.Tables() {
+		out.Add(t)
+	}
+	for f := 0; f < factor; f++ {
+		for _, t := range src.Tables() {
+			if t.NumRows() == 0 {
+				continue
+			}
+			n := 1 + rng.Intn(t.NumRows())
+			perm := rng.Perm(t.NumRows())
+			nt := table.New(fmt.Sprintf("%s_syn%d", t.Name, f), t.Attributes)
+			nt.Categories = append([]string(nil), t.Categories...)
+			for _, ri := range perm[:n] {
+				nt.AppendRow(append([]table.Cell(nil), t.Rows[ri]...))
+			}
+			out.Add(nt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package embedding
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+func TestStoreSetGet(t *testing.T) {
+	s := NewStore(10, 3)
+	if _, ok := s.Get(4); ok {
+		t.Error("Get on empty store reported a vector")
+	}
+	s.Set(4, Vector{1, 2, 3})
+	v, ok := s.Get(4)
+	if !ok || v[0] != 1 || v[2] != 3 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if s.Len() != 1 || s.Dim() != 3 {
+		t.Errorf("Len=%d Dim=%d", s.Len(), s.Dim())
+	}
+	if _, ok := s.Get(99); ok {
+		t.Error("out-of-range Get reported a vector")
+	}
+}
+
+func TestStoreSetWrongDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with wrong dim did not panic")
+		}
+	}()
+	NewStore(5, 3).Set(0, Vector{1})
+}
+
+func TestStoreSimilarity(t *testing.T) {
+	s := NewStore(5, 2)
+	s.Set(0, Vector{1, 0})
+	s.Set(1, Vector{1, 0})
+	s.Set(2, Vector{0, 1})
+	if sim, ok := s.Similarity(0, 1); !ok || sim < 0.999 {
+		t.Errorf("sim(0,1) = %v, %v", sim, ok)
+	}
+	if sim, ok := s.Similarity(0, 2); !ok || sim > 0.001 {
+		t.Errorf("sim(0,2) = %v, %v", sim, ok)
+	}
+	if _, ok := s.Similarity(0, 4); ok {
+		t.Error("similarity with missing vector reported ok")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore(8, 4)
+	s.Set(1, Vector{1, 2, 3, 4})
+	s.Set(7, Vector{-1, 0, 1, 0.5})
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Dim() != 4 {
+		t.Fatalf("round trip Len=%d Dim=%d", back.Len(), back.Dim())
+	}
+	v, ok := back.Get(7)
+	if !ok || v[3] != 0.5 {
+		t.Errorf("vector 7 after round trip = %v, %v", v, ok)
+	}
+	if _, ok := back.Get(2); ok {
+		t.Error("round trip invented a vector")
+	}
+}
+
+func TestReadStoreBadMagic(t *testing.T) {
+	if _, err := ReadStore(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// twoClusterGraph builds two disconnected hub-and-spoke communities.
+func twoClusterGraph() (*kg.Graph, []kg.EntityID, []kg.EntityID) {
+	g := kg.NewGraph()
+	p := g.AddPredicate("rel")
+	var a, b []kg.EntityID
+	hubA := g.AddEntity("hubA", "")
+	hubB := g.AddEntity("hubB", "")
+	a = append(a, hubA)
+	b = append(b, hubB)
+	for i := 0; i < 8; i++ {
+		ea := g.AddEntity(fmt.Sprintf("a%d", i), "")
+		eb := g.AddEntity(fmt.Sprintf("b%d", i), "")
+		g.AddEdge(ea, p, hubA)
+		g.AddEdge(eb, p, hubB)
+		// Intra-cluster chains for connectivity.
+		if i > 0 {
+			g.AddEdge(a[len(a)-1], p, ea)
+			g.AddEdge(b[len(b)-1], p, eb)
+		}
+		a = append(a, ea)
+		b = append(b, eb)
+	}
+	return g, a, b
+}
+
+func TestGenerateWalks(t *testing.T) {
+	g, _, _ := twoClusterGraph()
+	cfg := WalkConfig{WalksPerEntity: 3, Length: 5, Undirected: true, Seed: 42}
+	walks := GenerateWalks(g, cfg)
+	if len(walks) != g.NumEntities()*3 {
+		t.Fatalf("walk count = %d, want %d", len(walks), g.NumEntities()*3)
+	}
+	for _, w := range walks {
+		if len(w) == 0 || len(w) > 5 {
+			t.Fatalf("walk length %d out of range", len(w))
+		}
+	}
+	// Determinism.
+	again := GenerateWalks(g, cfg)
+	for i := range walks {
+		if len(walks[i]) != len(again[i]) {
+			t.Fatal("walks not deterministic")
+		}
+		for j := range walks[i] {
+			if walks[i][j] != again[i][j] {
+				t.Fatal("walks not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateWalksIsolatedNode(t *testing.T) {
+	g := kg.NewGraph()
+	g.AddEntity("lonely", "")
+	walks := GenerateWalks(g, WalkConfig{WalksPerEntity: 2, Length: 4, Seed: 1})
+	if len(walks) != 2 {
+		t.Fatalf("walks = %v", walks)
+	}
+	for _, w := range walks {
+		if len(w) != 1 {
+			t.Errorf("isolated node walk = %v, want length 1", w)
+		}
+	}
+}
+
+func TestGenerateWalksDirectedDeadEnd(t *testing.T) {
+	g := kg.NewGraph()
+	p := g.AddPredicate("p")
+	a := g.AddEntity("a", "")
+	b := g.AddEntity("b", "")
+	g.AddEdge(a, p, b)
+	walks := GenerateWalks(g, WalkConfig{WalksPerEntity: 1, Length: 5, Undirected: false, Seed: 1})
+	// Walk from b cannot move (no outgoing edges).
+	for _, w := range walks {
+		if w[0] == b && len(w) != 1 {
+			t.Errorf("directed walk escaped a dead end: %v", w)
+		}
+	}
+}
+
+func TestGenerateWalksInvalidConfig(t *testing.T) {
+	g, _, _ := twoClusterGraph()
+	if w := GenerateWalks(g, WalkConfig{WalksPerEntity: 0, Length: 5}); w != nil {
+		t.Error("zero walks config should return nil")
+	}
+}
+
+func TestTrainSeparatesClusters(t *testing.T) {
+	g, a, b := twoClusterGraph()
+	store := TrainGraph(g,
+		WalkConfig{WalksPerEntity: 20, Length: 8, Undirected: true, Seed: 3},
+		TrainConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 8, LearningRate: 0.05, Seed: 3})
+
+	if store.Len() != g.NumEntities() {
+		t.Fatalf("trained %d vectors, want %d", store.Len(), g.NumEntities())
+	}
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for _, x := range a {
+		for _, y := range a {
+			if x != y {
+				s, _ := store.Similarity(x, y)
+				intra += s
+				nIntra++
+			}
+		}
+		for _, y := range b {
+			s, _ := store.Similarity(x, y)
+			inter += s
+			nInter++
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra <= inter {
+		t.Errorf("embeddings failed to separate clusters: intra=%.3f inter=%.3f", intra, inter)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g, _, _ := twoClusterGraph()
+	w := WalkConfig{WalksPerEntity: 5, Length: 6, Undirected: true, Seed: 9}
+	c := TrainConfig{Dim: 8, Window: 3, Negatives: 3, Epochs: 2, LearningRate: 0.025, Seed: 9}
+	s1 := TrainGraph(g, w, c)
+	s2 := TrainGraph(g, w, c)
+	v1, _ := s1.Get(0)
+	v2, _ := s2.Get(0)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	s := Train(nil, 10, DefaultTrainConfig())
+	if s.Len() != 0 {
+		t.Errorf("empty corpus produced %d vectors", s.Len())
+	}
+}
+
+func TestTrainSkipsAbsentEntities(t *testing.T) {
+	walks := [][]kg.EntityID{{0, 1, 0, 1}}
+	s := Train(walks, 5, TrainConfig{Dim: 4, Window: 2, Negatives: 2, Epochs: 2, LearningRate: 0.025, Seed: 1})
+	if _, ok := s.Get(3); ok {
+		t.Error("entity absent from walks received a vector")
+	}
+	if _, ok := s.Get(0); !ok {
+		t.Error("entity present in walks received no vector")
+	}
+}
+
+func TestGenerateTokenWalksWithPredicates(t *testing.T) {
+	g, _, _ := twoClusterGraph()
+	cfg := WalkConfig{WalksPerEntity: 2, Length: 4, Undirected: true, IncludePredicates: true, Seed: 1}
+	walks, vocab := GenerateTokenWalks(g, cfg)
+	if vocab != g.NumEntities()+g.NumPredicates() {
+		t.Fatalf("vocab = %d, want %d", vocab, g.NumEntities()+g.NumPredicates())
+	}
+	n := uint32(g.NumEntities())
+	sawPredicate := false
+	for _, w := range walks {
+		// Walks alternate entity, predicate, entity, …
+		for i, tok := range w {
+			isPred := tok >= n
+			if isPred {
+				sawPredicate = true
+			}
+			if i%2 == 0 && isPred {
+				t.Fatalf("walk %v: even position %d holds a predicate token", w, i)
+			}
+			if i%2 == 1 && !isPred {
+				t.Fatalf("walk %v: odd position %d holds an entity token", w, i)
+			}
+			if int(tok) >= vocab {
+				t.Fatalf("token %d out of vocabulary %d", tok, vocab)
+			}
+		}
+	}
+	if !sawPredicate {
+		t.Error("no predicate tokens emitted")
+	}
+}
+
+func TestTrainWithPredicateWalksSeparatesClusters(t *testing.T) {
+	g, a, b := twoClusterGraph()
+	store := TrainGraph(g,
+		WalkConfig{WalksPerEntity: 20, Length: 8, Undirected: true, IncludePredicates: true, Seed: 3},
+		TrainConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 8, LearningRate: 0.05, Seed: 3})
+	if store.Len() != g.NumEntities() {
+		t.Fatalf("trained %d entity vectors, want %d (predicates must not leak into the store)",
+			store.Len(), g.NumEntities())
+	}
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for _, x := range a {
+		for _, y := range a {
+			if x != y {
+				s, _ := store.Similarity(x, y)
+				intra += s
+				nIntra++
+			}
+		}
+		for _, y := range b {
+			s, _ := store.Similarity(x, y)
+			inter += s
+			nInter++
+		}
+	}
+	if intra/float64(nIntra) <= inter/float64(nInter) {
+		t.Errorf("predicate-aware embeddings failed to separate clusters: intra=%.3f inter=%.3f",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}

@@ -1,0 +1,231 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+
+	"thetis/internal/kg"
+)
+
+// TrainConfig controls skip-gram training.
+type TrainConfig struct {
+	// Dim is the embedding dimensionality.
+	Dim int
+	// Window is the maximum context distance; the effective window per
+	// center token is sampled uniformly from [1, Window] as in word2vec.
+	Window int
+	// Negatives is the number of negative samples per positive pair.
+	Negatives int
+	// Epochs is the number of passes over the walk corpus.
+	Epochs int
+	// LearningRate is the initial SGD step size, decayed linearly to
+	// LearningRate/10 across training.
+	LearningRate float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultTrainConfig returns word2vec-style defaults sized for KGs of up to
+// a few hundred thousand entities.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Dim: 48, Window: 4, Negatives: 5, Epochs: 3, LearningRate: 0.025, Seed: 1}
+}
+
+const (
+	sigTableSize = 4096
+	sigMax       = 6.0
+	negTableSize = 1 << 20
+)
+
+// Train learns entity embeddings from an entity-only random-walk corpus.
+// It is a convenience wrapper over TrainTokens with vocabulary equal to the
+// entity ID space.
+func Train(walks [][]kg.EntityID, maxEntities int, cfg TrainConfig) *Store {
+	tokens := make([][]uint32, len(walks))
+	for i, w := range walks {
+		tw := make([]uint32, len(w))
+		for j, e := range w {
+			tw[j] = uint32(e)
+		}
+		tokens[i] = tw
+	}
+	return TrainTokens(tokens, maxEntities, maxEntities, cfg)
+}
+
+// TrainTokens learns embeddings from a token-walk corpus with skip-gram and
+// negative sampling. The vocabulary has vocabSize tokens; the first
+// numEntities of them are entity IDs and are the only vectors kept in the
+// returned store (predicate tokens train context but are discarded).
+// Tokens absent from every walk get no vector.
+//
+// Training is single-threaded by design: lock-free parallel SGD (HogWild)
+// is a data race under the Go memory model, and at the corpus sizes this
+// reproduction uses the sequential version trains in seconds.
+func TrainTokens(walks [][]uint32, vocabSize, numEntities int, cfg TrainConfig) *Store {
+	if cfg.Dim <= 0 || len(walks) == 0 {
+		return NewStore(numEntities, max(cfg.Dim, 1))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Vocabulary and unigram counts.
+	counts := make([]int, vocabSize)
+	tokens := 0
+	for _, w := range walks {
+		for _, e := range w {
+			counts[e]++
+			tokens++
+		}
+	}
+
+	negTable := buildNegTable(counts)
+	sig := buildSigmoidTable()
+
+	// Parameter matrices: syn0 = input (entity) vectors, syn1 = output
+	// (context) vectors. Initialized as in word2vec: syn0 uniform small,
+	// syn1 zero.
+	dim := cfg.Dim
+	syn0 := make([]float32, vocabSize*dim)
+	syn1 := make([]float32, vocabSize*dim)
+	for i := range syn0 {
+		syn0[i] = (rng.Float32() - 0.5) / float32(dim)
+	}
+
+	totalSteps := cfg.Epochs * tokens
+	step := 0
+	lr0 := cfg.LearningRate
+	grad := make([]float32, dim)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, walk := range walks {
+			for ci, center := range walk {
+				step++
+				lr := lr0 * (1 - float64(step)/float64(totalSteps+1))
+				if lr < lr0/10 {
+					lr = lr0 / 10
+				}
+				win := 1 + rng.Intn(cfg.Window)
+				lo, hi := ci-win, ci+win
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				for pos := lo; pos <= hi; pos++ {
+					if pos == ci {
+						continue
+					}
+					context := walk[pos]
+					trainPair(syn0, syn1, int(context), int(center), dim, lr, cfg.Negatives, negTable, sig, rng, grad)
+				}
+			}
+		}
+	}
+
+	store := NewStore(numEntities, dim)
+	vec := make(Vector, dim)
+	for e := 0; e < numEntities; e++ {
+		if counts[e] == 0 {
+			continue
+		}
+		copy(vec, syn0[e*dim:(e+1)*dim])
+		store.Set(kg.EntityID(e), vec)
+	}
+	return store
+}
+
+// trainPair performs one skip-gram update: input word `in` against positive
+// target `target` plus sampled negatives.
+func trainPair(syn0, syn1 []float32, in, target, dim int, lr float64, negatives int, negTable []uint32, sig []float32, rng *rand.Rand, grad []float32) {
+	v := syn0[in*dim : (in+1)*dim]
+	for i := range grad {
+		grad[i] = 0
+	}
+	for n := 0; n <= negatives; n++ {
+		var tgt int
+		var label float32
+		if n == 0 {
+			tgt, label = target, 1
+		} else {
+			tgt = int(negTable[rng.Intn(len(negTable))])
+			if tgt == target {
+				continue
+			}
+			label = 0
+		}
+		w := syn1[tgt*dim : (tgt+1)*dim]
+		var dot float64
+		for i := 0; i < dim; i++ {
+			dot += float64(v[i]) * float64(w[i])
+		}
+		g := float32(lr) * (label - sigmoid(sig, dot))
+		for i := 0; i < dim; i++ {
+			grad[i] += g * w[i]
+			w[i] += g * v[i]
+		}
+	}
+	for i := 0; i < dim; i++ {
+		v[i] += grad[i]
+	}
+}
+
+// buildNegTable builds the unigram^0.75 negative-sampling table.
+func buildNegTable(counts []int) []uint32 {
+	var total float64
+	for _, c := range counts {
+		if c > 0 {
+			total += math.Pow(float64(c), 0.75)
+		}
+	}
+	table := make([]uint32, 0, negTableSize)
+	if total == 0 {
+		return table
+	}
+	for e, c := range counts {
+		if c == 0 {
+			continue
+		}
+		n := int(math.Ceil(math.Pow(float64(c), 0.75) / total * negTableSize))
+		for i := 0; i < n; i++ {
+			table = append(table, uint32(e))
+		}
+	}
+	return table
+}
+
+func buildSigmoidTable() []float32 {
+	t := make([]float32, sigTableSize)
+	for i := range t {
+		x := (float64(i)/sigTableSize*2 - 1) * sigMax
+		t[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+	return t
+}
+
+func sigmoid(table []float32, x float64) float32 {
+	if x >= sigMax {
+		return 1
+	}
+	if x <= -sigMax {
+		return 0
+	}
+	i := int((x + sigMax) / (2 * sigMax) * sigTableSize)
+	if i >= sigTableSize {
+		i = sigTableSize - 1
+	}
+	return table[i]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TrainGraph is a convenience helper chaining walk generation and training,
+// honoring WalkConfig.IncludePredicates.
+func TrainGraph(g *kg.Graph, wcfg WalkConfig, tcfg TrainConfig) *Store {
+	walks, vocab := GenerateTokenWalks(g, wcfg)
+	return TrainTokens(walks, vocab, g.NumEntities(), tcfg)
+}

@@ -1,0 +1,135 @@
+package embedding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"thetis/internal/kg"
+)
+
+// Store maps entities to their embedding vectors. Vectors are stored in one
+// contiguous arena indexed by dense entity IDs; entities outside the trained
+// vocabulary have no vector. A Store is safe for concurrent readers.
+type Store struct {
+	dim  int
+	data []float32 // len = maxEntities * dim
+	has  []bool
+}
+
+// NewStore creates a store for entity IDs in [0, maxEntities) with the
+// given dimensionality.
+func NewStore(maxEntities, dim int) *Store {
+	return &Store{
+		dim:  dim,
+		data: make([]float32, maxEntities*dim),
+		has:  make([]bool, maxEntities),
+	}
+}
+
+// Dim returns the embedding dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of entities that have a vector.
+func (s *Store) Len() int {
+	n := 0
+	for _, h := range s.has {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// Set stores the vector of entity e (copied into the arena).
+func (s *Store) Set(e kg.EntityID, v Vector) {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("embedding: vector dim %d != store dim %d", len(v), s.dim))
+	}
+	copy(s.data[int(e)*s.dim:(int(e)+1)*s.dim], v)
+	s.has[e] = true
+}
+
+// Get returns the vector of entity e, or (nil, false) when e has no
+// embedding. The returned slice aliases the arena; callers must not modify
+// it.
+func (s *Store) Get(e kg.EntityID) (Vector, bool) {
+	if int(e) >= len(s.has) || !s.has[e] {
+		return nil, false
+	}
+	return Vector(s.data[int(e)*s.dim : (int(e)+1)*s.dim]), true
+}
+
+// Similarity returns the cosine similarity of two entities' embeddings and
+// whether both embeddings exist.
+func (s *Store) Similarity(a, b kg.EntityID) (float64, bool) {
+	va, oka := s.Get(a)
+	vb, okb := s.Get(b)
+	if !oka || !okb {
+		return 0, false
+	}
+	return Cosine(va, vb), true
+}
+
+// storeMagic identifies the binary serialization format.
+const storeMagic = uint32(0x54485645) // "THVE"
+
+// Write serializes the store in a compact binary format.
+func (s *Store) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint32{storeMagic, uint32(len(s.has)), uint32(s.dim)}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for e, h := range s.has {
+		if !h {
+			continue
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.data[e*s.dim:(e+1)*s.dim]); err != nil {
+			return err
+		}
+	}
+	// Terminator: an ID beyond the arena.
+	if err := binary.Write(bw, binary.LittleEndian, ^uint32(0)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadStore deserializes a store written by Write.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic, n, dim uint32
+	for _, p := range []*uint32{&magic, &n, &dim} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("embedding: bad magic %#x", magic)
+	}
+	s := NewStore(int(n), int(dim))
+	buf := make(Vector, dim)
+	for {
+		var id uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, err
+		}
+		if id == ^uint32(0) {
+			return s, nil
+		}
+		if id >= n {
+			return nil, fmt.Errorf("embedding: entity %d out of range %d", id, n)
+		}
+		if err := binary.Read(br, binary.LittleEndian, []float32(buf)); err != nil {
+			return nil, err
+		}
+		s.Set(kg.EntityID(id), buf)
+	}
+}

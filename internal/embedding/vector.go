@@ -1,0 +1,77 @@
+// Package embedding provides KG entity embeddings: the RDF2Vec substitute
+// of this reproduction. It generates random walks over the knowledge graph
+// and trains a skip-gram model with negative sampling (word2vec) on the walk
+// corpus, yielding one dense vector per entity such that entities with
+// similar graph neighborhoods have similar vectors — the only property the
+// Thetis similarity function σ consumes.
+package embedding
+
+import "math"
+
+// Vector is a dense float32 embedding.
+type Vector []float32
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm.
+func Norm(a Vector) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Cosine returns the cosine similarity in [-1, 1]. Zero vectors have
+// similarity 0 with everything.
+func Cosine(a, b Vector) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Normalize scales a to unit norm in place and returns it. Zero vectors are
+// returned unchanged.
+func Normalize(a Vector) Vector {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	inv := float32(1 / n)
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// Add accumulates b into a.
+func Add(a, b Vector) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Scale multiplies a by s in place.
+func Scale(a Vector, s float64) {
+	f := float32(s)
+	for i := range a {
+		a[i] *= f
+	}
+}
+
+// Mean returns the element-wise mean of the given vectors; nil when the
+// input is empty. All vectors must share one dimension.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make(Vector, len(vs[0]))
+	for _, v := range vs {
+		Add(out, v)
+	}
+	Scale(out, 1/float64(len(vs)))
+	return out
+}

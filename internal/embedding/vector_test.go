@@ -1,0 +1,81 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAndNorm(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm(Vector{3, 4}); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine(Vector{1, 0}, Vector{1, 0}); math.Abs(got-1) > 1e-6 {
+		t.Errorf("cos(same) = %v", got)
+	}
+	if got := Cosine(Vector{1, 0}, Vector{0, 1}); math.Abs(got) > 1e-6 {
+		t.Errorf("cos(orthogonal) = %v", got)
+	}
+	if got := Cosine(Vector{1, 0}, Vector{-1, 0}); math.Abs(got+1) > 1e-6 {
+		t.Errorf("cos(opposite) = %v", got)
+	}
+	if got := Cosine(Vector{0, 0}, Vector{1, 0}); got != 0 {
+		t.Errorf("cos(zero) = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize(Vector{3, 4})
+	if math.Abs(Norm(v)-1) > 1e-6 {
+		t.Errorf("norm after Normalize = %v", Norm(v))
+	}
+	z := Normalize(Vector{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("Normalize(0) changed the zero vector")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Errorf("Mean = %v, want [2 3]", m)
+	}
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) should be nil")
+	}
+}
+
+// Property: cosine similarity is symmetric and bounded.
+func TestCosineProperties(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		half := len(raw) / 2
+		a, b := Vector(raw[:half]), Vector(raw[half:2*half])
+		for _, x := range raw {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				return true
+			}
+			if math.Abs(float64(x)) > 1e15 {
+				return true // avoid float overflow artifacts
+			}
+		}
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		if math.Abs(c1-c2) > 1e-9 {
+			return false
+		}
+		return c1 >= -1-1e-9 && c1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

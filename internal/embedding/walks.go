@@ -1,0 +1,111 @@
+package embedding
+
+import (
+	"math/rand"
+
+	"thetis/internal/kg"
+)
+
+// WalkConfig controls random-walk corpus generation (the RDF2Vec recipe:
+// a fixed number of fixed-depth walks started from every entity).
+type WalkConfig struct {
+	// WalksPerEntity is the number of walks started from each node.
+	WalksPerEntity int
+	// Length is the number of nodes per walk (including the start).
+	Length int
+	// Undirected also follows incoming edges, which connects entities that
+	// share objects (e.g. two players of the same team) even in sparse KGs.
+	Undirected bool
+	// IncludePredicates interleaves edge labels into the walks as their own
+	// vocabulary tokens (entity, predicate, entity, …), the original
+	// RDF2Vec sequence shape. Predicates receive embeddings during
+	// training but only entity vectors are kept in the store.
+	IncludePredicates bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultWalkConfig mirrors common RDF2Vec settings scaled for in-memory
+// graphs: 10 walks of depth 8 per entity, undirected.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{WalksPerEntity: 10, Length: 8, Undirected: true, Seed: 1}
+}
+
+// GenerateWalks produces the random-walk corpus over g as entity-only
+// sequences. Nodes with no usable edges yield length-1 walks (they still
+// enter the vocabulary). For predicate-aware walks use GenerateTokenWalks.
+func GenerateWalks(g *kg.Graph, cfg WalkConfig) [][]kg.EntityID {
+	cfg.IncludePredicates = false
+	tokens, _ := GenerateTokenWalks(g, cfg)
+	if tokens == nil {
+		return nil
+	}
+	walks := make([][]kg.EntityID, len(tokens))
+	for i, tw := range tokens {
+		w := make([]kg.EntityID, len(tw))
+		for j, tok := range tw {
+			w[j] = kg.EntityID(tok)
+		}
+		walks[i] = w
+	}
+	return walks
+}
+
+// GenerateTokenWalks produces walks over a combined vocabulary: tokens
+// below g.NumEntities() are entity IDs; with IncludePredicates set, tokens
+// numEntities+p are predicate IDs, interleaved between the entities they
+// connect (the original RDF2Vec sequence shape). It returns the walks and
+// the vocabulary size.
+func GenerateTokenWalks(g *kg.Graph, cfg WalkConfig) ([][]uint32, int) {
+	vocab := g.NumEntities()
+	if cfg.IncludePredicates {
+		vocab += g.NumPredicates()
+	}
+	if cfg.WalksPerEntity <= 0 || cfg.Length <= 0 {
+		return nil, vocab
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := g.NumEntities()
+	walks := make([][]uint32, 0, n*cfg.WalksPerEntity)
+	for start := 0; start < n; start++ {
+		for w := 0; w < cfg.WalksPerEntity; w++ {
+			walk := make([]uint32, 0, cfg.Length)
+			cur := kg.EntityID(start)
+			walk = append(walk, uint32(cur))
+			for hops := 1; hops < cfg.Length; hops++ {
+				next, pred, ok := step(g, cur, cfg.Undirected, rng)
+				if !ok {
+					break
+				}
+				if cfg.IncludePredicates {
+					walk = append(walk, uint32(n)+uint32(pred))
+				}
+				cur = next
+				walk = append(walk, uint32(cur))
+			}
+			walks = append(walks, walk)
+		}
+	}
+	return walks, vocab
+}
+
+// step picks a uniformly random neighbor of cur, returning the traversed
+// predicate as well.
+func step(g *kg.Graph, cur kg.EntityID, undirected bool, rng *rand.Rand) (kg.EntityID, kg.PredicateID, bool) {
+	out := g.Out(cur)
+	total := len(out)
+	var in []kg.Edge
+	if undirected {
+		in = g.In(cur)
+		total += len(in)
+	}
+	if total == 0 {
+		return 0, 0, false
+	}
+	i := rng.Intn(total)
+	if i < len(out) {
+		return out[i].Object, out[i].Predicate, true
+	}
+	e := in[i-len(out)]
+	return e.Object, e.Predicate, true
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"time"
+
+	"thetis/internal/datagen"
+	"thetis/internal/metrics"
+)
+
+// evalNDCG runs every query through the runner and returns the per-query
+// NDCG@k sample (retrieving k results, judged against graded ground truth).
+func evalNDCG(env *Env, r Runner, queries []datagen.BenchmarkQuery, k int) []float64 {
+	out := make([]float64, 0, len(queries))
+	for _, bq := range queries {
+		ranked, _ := r.Search(bq, k)
+		gt := env.GT[bq.Name]
+		out = append(out, metrics.NDCG(ranked, gt.Grades, k))
+	}
+	return out
+}
+
+// evalRecall returns the per-query recall@k sample: retrieved top-k against
+// the top-k ground-truth relevant tables.
+func evalRecall(env *Env, r Runner, queries []datagen.BenchmarkQuery, k int) []float64 {
+	out := make([]float64, 0, len(queries))
+	for _, bq := range queries {
+		ranked, _ := r.Search(bq, k)
+		gt := env.GT[bq.Name]
+		out = append(out, metrics.RecallAtK(ranked, gt.RelevantSet(k), k))
+	}
+	return out
+}
+
+// runtimeResult aggregates the timing grid of Tables 3 and 4.
+type runtimeResult struct {
+	// MeanTime is the average wall-clock search time per query.
+	MeanTime time.Duration
+	// MeanReduction is the average fraction of the corpus pruned before
+	// scoring (0 for brute-force methods).
+	MeanReduction float64
+}
+
+// evalRuntime measures the average search time and search-space reduction
+// of a runner over a query set (top-k fixed at 10, matching the paper's
+// runtime protocol).
+func evalRuntime(env *Env, r Runner, queries []datagen.BenchmarkQuery) runtimeResult {
+	var total time.Duration
+	var reduction float64
+	n := env.Lake.NumTables()
+	for _, bq := range queries {
+		start := time.Now()
+		_, stats := r.Search(bq, 10)
+		total += time.Since(start)
+		if n > 0 {
+			reduction += 1 - float64(stats.Candidates)/float64(n)
+		}
+	}
+	if len(queries) == 0 {
+		return runtimeResult{}
+	}
+	return runtimeResult{
+		MeanTime:      total / time.Duration(len(queries)),
+		MeanReduction: reduction / float64(len(queries)),
+	}
+}

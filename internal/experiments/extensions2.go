@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"thetis/internal/core"
+	"thetis/internal/embedding"
+	"thetis/internal/metrics"
+)
+
+// --- Informativeness ablation (Section 5.2) ---
+
+// InformativenessRow is one (similarity, tuples, weighting) cell.
+type InformativenessRow struct {
+	Method    string
+	Tuples    int
+	Weighting string // "idf" or "uniform"
+	Summary   metrics.Summary
+}
+
+// InformativenessResult quantifies the informativeness weighting I(e) of
+// Section 5.2: corpus-frequency (IDF) weights versus uniform weights. The
+// paper motivates I(e) with the ⟨Mitch Stetter, Milwaukee Brewers⟩ example
+// (the player should matter more than the team) but does not ablate it.
+type InformativenessResult struct {
+	Rows []InformativenessRow
+}
+
+// RunInformativenessAblation evaluates both weightings on both query sizes.
+func RunInformativenessAblation(env *Env) InformativenessResult {
+	var out InformativenessResult
+	for _, tuples := range []int{1, 5} {
+		queries := env.QuerySet(tuples)
+		for _, kind := range []SimKind{SimTypes, SimEmbeddings} {
+			for _, weighting := range []string{"idf", "uniform"} {
+				eng := engineFor(env, kind)
+				if weighting == "uniform" {
+					eng.Inf = core.UniformInformativeness
+				}
+				r := engineRunner(fmt.Sprintf("STS%v/%s", kind, weighting), eng)
+				sample := evalNDCG(env, r, queries, 10)
+				out.Rows = append(out.Rows, InformativenessRow{
+					Method: fmt.Sprintf("STS%v", kind), Tuples: tuples,
+					Weighting: weighting, Summary: metrics.Summarize(sample),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the comparison.
+func (r InformativenessResult) Render(w io.Writer) {
+	renderHeader(w, "Ablation: informativeness weighting (corpus IDF vs uniform), NDCG@10")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Method\tTuples\tWeighting\tNDCG@10 distribution")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", row.Method, row.Tuples, row.Weighting, fmtSummary(row.Summary))
+	}
+	tw.Flush()
+}
+
+// Mean returns the mean NDCG of a cell, or -1.
+func (r InformativenessResult) Mean(method string, tuples int, weighting string) float64 {
+	for _, row := range r.Rows {
+		if row.Method == method && row.Tuples == tuples && row.Weighting == weighting {
+			return row.Summary.Mean
+		}
+	}
+	return -1
+}
+
+// --- Predicate-aware walk ablation (RDF2Vec fidelity) ---
+
+// WalkAblationRow is one (tuples, walk style) cell of STSE quality.
+type WalkAblationRow struct {
+	Tuples   int
+	Walks    string // "entities" or "entities+predicates"
+	MeanNDCG float64
+}
+
+// WalkAblationResult compares STSE quality when embeddings are trained on
+// entity-only walks versus RDF2Vec-style walks that interleave predicate
+// tokens. Richer walk vocabularies usually sharpen entity similarity in
+// KGs with heterogeneous relations.
+type WalkAblationResult struct {
+	Rows []WalkAblationRow
+}
+
+// RunWalkAblation trains a second embedding store with predicate-aware
+// walks and evaluates STSE with both.
+func RunWalkAblation(env *Env) WalkAblationResult {
+	wcfg := env.Config.Walks
+	wcfg.IncludePredicates = true
+	predStore := embedding.TrainGraph(env.KG.Graph, wcfg, env.Config.Train)
+	predEC := core.NewEmbeddingCosine(env.KG.Graph, predStore)
+
+	var out WalkAblationResult
+	for _, tuples := range []int{1, 5} {
+		queries := env.QuerySet(tuples)
+		for _, style := range []string{"entities", "entities+predicates"} {
+			var eng *core.Engine
+			if style == "entities" {
+				eng = env.EngineEmbeddings()
+			} else {
+				eng = core.NewEngine(env.Lake, predEC)
+			}
+			r := engineRunner("STSE/"+style, eng)
+			sample := evalNDCG(env, r, queries, 10)
+			out.Rows = append(out.Rows, WalkAblationRow{
+				Tuples: tuples, Walks: style,
+				MeanNDCG: metrics.Summarize(sample).Mean,
+			})
+		}
+	}
+	return out
+}
+
+// Render prints the comparison.
+func (r WalkAblationResult) Render(w io.Writer) {
+	renderHeader(w, "Ablation: embedding walk vocabulary (entity-only vs RDF2Vec-style with predicates), STSE NDCG@10")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Tuples\tWalks\tMean NDCG@10")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\n", row.Tuples, row.Walks, row.MeanNDCG)
+	}
+	tw.Flush()
+}

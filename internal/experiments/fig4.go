@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"thetis/internal/metrics"
+)
+
+// Fig4Series is one box of Figure 4: the NDCG@10 distribution of one method
+// on one query size.
+type Fig4Series struct {
+	Method  string
+	Tuples  int // 1 or 5
+	Summary metrics.Summary
+}
+
+// Fig4Result regenerates Figure 4 (NDCG at top-10): brute-force semantic
+// search with types (STST) and embeddings (STSE), the three LSH
+// configurations per similarity, BM25 text queries, and the union-search
+// baseline, plus the prose-reported TURL and join-search (D³L-stand-in)
+// numbers.
+type Fig4Result struct {
+	Series []Fig4Series
+}
+
+// RunFig4 evaluates NDCG@10 for every Figure 4 method on both query sizes.
+// LSH methods use a 1-vote threshold, matching the figure's setup.
+func RunFig4(env *Env) Fig4Result {
+	m := NewMethods(env)
+	runners := []Runner{
+		m.SemanticBrute(SimTypes),
+		m.SemanticBrute(SimEmbeddings),
+	}
+	for _, cfg := range PaperLSHConfigs() {
+		runners = append(runners, m.SemanticLSH(SimTypes, cfg, 1))
+	}
+	for _, cfg := range PaperLSHConfigs() {
+		runners = append(runners, m.SemanticLSH(SimEmbeddings, cfg, 1))
+	}
+	runners = append(runners, m.BM25Text(), m.UnionSearch(), m.StarmieUnion(), m.JoinSearch(), m.TURL())
+
+	var out Fig4Result
+	for _, tuples := range []int{1, 5} {
+		queries := env.QuerySet(tuples)
+		for _, r := range runners {
+			sample := evalNDCG(env, r, queries, 10)
+			out.Series = append(out.Series, Fig4Series{
+				Method:  r.Name,
+				Tuples:  tuples,
+				Summary: metrics.Summarize(sample),
+			})
+		}
+	}
+	return out
+}
+
+// Render prints one line per box of the figure.
+func (r Fig4Result) Render(w io.Writer) {
+	renderHeader(w, "Figure 4: NDCG@10 (brute force, LSH configs, baselines)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Method\tTuples\tNDCG@10 distribution")
+	for _, s := range r.Series {
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", s.Method, s.Tuples, fmtSummary(s.Summary))
+	}
+	tw.Flush()
+}
+
+// Mean returns the mean NDCG of a method/tuples pair, or -1 when absent
+// (used by tests and EXPERIMENTS.md generation).
+func (r Fig4Result) Mean(method string, tuples int) float64 {
+	for _, s := range r.Series {
+		if s.Method == method && s.Tuples == tuples {
+			return s.Summary.Mean
+		}
+	}
+	return -1
+}

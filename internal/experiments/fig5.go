@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"thetis/internal/metrics"
+)
+
+// Fig5Series is one box of Figure 5: the recall distribution of one method
+// at one cutoff and query size.
+type Fig5Series struct {
+	Method  string
+	Tuples  int
+	K       int // 100 or 200
+	Summary metrics.Summary
+}
+
+// Fig5Result regenerates Figure 5 (recall at top-100 and top-200),
+// including the complemented STSTC/STSEC variants that merge semantic
+// search with BM25.
+type Fig5Result struct {
+	Series []Fig5Series
+}
+
+// RunFig5 evaluates recall@100 and recall@200 for BM25, STST, STSE, and
+// their BM25-complemented variants on both query sizes.
+func RunFig5(env *Env) Fig5Result {
+	m := NewMethods(env)
+	stst := m.SemanticBrute(SimTypes)
+	stse := m.SemanticBrute(SimEmbeddings)
+	runners := []Runner{
+		m.BM25Text(),
+		stst,
+		stse,
+		m.Complemented(stst),
+		m.Complemented(stse),
+	}
+	var out Fig5Result
+	for _, tuples := range []int{1, 5} {
+		queries := env.QuerySet(tuples)
+		for _, k := range []int{100, 200} {
+			for _, r := range runners {
+				sample := evalRecall(env, r, queries, k)
+				out.Series = append(out.Series, Fig5Series{
+					Method:  r.Name,
+					Tuples:  tuples,
+					K:       k,
+					Summary: metrics.Summarize(sample),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Render prints one line per box of the figure.
+func (r Fig5Result) Render(w io.Writer) {
+	renderHeader(w, "Figure 5: Recall@100/@200 (incl. BM25-complemented STSTC/STSEC)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Method\tTuples\tK\tRecall distribution")
+	for _, s := range r.Series {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", s.Method, s.Tuples, s.K, fmtSummary(s.Summary))
+	}
+	tw.Flush()
+}
+
+// Median returns the median recall for a method/tuples/k cell, or -1.
+func (r Fig5Result) Median(method string, tuples, k int) float64 {
+	for _, s := range r.Series {
+		if s.Method == method && s.Tuples == tuples && s.K == k {
+			return s.Summary.Median
+		}
+	}
+	return -1
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"thetis/internal/datagen"
+	"thetis/internal/lake"
+	"thetis/internal/metrics"
+)
+
+// Fig6Point is one box of Figure 6: the NDCG@10 distribution at one link-
+// coverage cap.
+type Fig6Point struct {
+	Method      string
+	Tuples      int
+	CoverageCap float64
+	Summary     metrics.Summary
+}
+
+// Fig6Result regenerates Figure 6 (NDCG@10 when decreasing entity-link
+// coverage): retrieve the top-1000 tables, keep only those with link
+// coverage at most the cap, and evaluate NDCG on the top-10 of the
+// remainder.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// Fig6Caps are the coverage upper bounds swept by the figure.
+var Fig6Caps = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// RunFig6 sweeps the coverage caps for STST and STSE on both query sizes.
+func RunFig6(env *Env) Fig6Result {
+	m := NewMethods(env)
+	// Precompute per-table coverage once.
+	coverage := make([]float64, env.Lake.NumTables())
+	for id, t := range env.Lake.Tables() {
+		coverage[id] = t.LinkCoverage()
+	}
+
+	var out Fig6Result
+	for _, tuples := range []int{1, 5} {
+		queries := env.QuerySet(tuples)
+		for _, kind := range []SimKind{SimTypes, SimEmbeddings} {
+			r := m.SemanticBrute(kind)
+			// Retrieve once per query at depth 1000, then post-filter per cap.
+			type ranked struct {
+				bq   datagen.BenchmarkQuery
+				tops []int
+			}
+			rankings := make([]ranked, 0, len(queries))
+			for _, bq := range queries {
+				tops, _ := r.Search(bq, 1000)
+				rankings = append(rankings, ranked{bq: bq, tops: tops})
+			}
+			for _, cap := range Fig6Caps {
+				sample := make([]float64, 0, len(rankings))
+				for _, rk := range rankings {
+					kept := make([]int, 0, len(rk.tops))
+					for _, id := range rk.tops {
+						if coverage[lake.TableID(id)] <= cap+1e-9 {
+							kept = append(kept, id)
+						}
+					}
+					gt := env.GT[rk.bq.Name]
+					sample = append(sample, metrics.NDCG(kept, gt.Grades, 10))
+				}
+				out.Points = append(out.Points, Fig6Point{
+					Method:      r.Name,
+					Tuples:      tuples,
+					CoverageCap: cap,
+					Summary:     metrics.Summarize(sample),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Render prints one line per box.
+func (r Fig6Result) Render(w io.Writer) {
+	renderHeader(w, "Figure 6: NDCG@10 when decreasing entity-link coverage")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Method\tTuples\tCoverage cap\tNDCG@10 distribution")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%s\t%d\t<=%s\t%s\n", p.Method, p.Tuples, fmtPct(p.CoverageCap), fmtSummary(p.Summary))
+	}
+	tw.Flush()
+}
+
+// Mean returns the mean NDCG at a grid point, or -1 when absent.
+func (r Fig6Result) Mean(method string, tuples int, cap float64) float64 {
+	for _, p := range r.Points {
+		if p.Method == method && p.Tuples == tuples && p.CoverageCap == cap {
+			return p.Summary.Mean
+		}
+	}
+	return -1
+}

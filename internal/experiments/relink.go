@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"thetis/internal/lake"
+	"thetis/internal/linking"
+)
+
+// relinkLake clones every table of l, replaces its entity annotations with
+// the linker's predictions, and rebuilds the lake (posting lists included).
+func relinkLake(l *lake.Lake, linker linking.Linker) *lake.Lake {
+	out := lake.New(l.Graph)
+	for _, t := range l.Tables() {
+		c := t.Clone()
+		linking.LinkTable(c, linker)
+		out.Add(c)
+	}
+	return out
+}
+
+// relinkLakeKeepGold re-links the environment's gold corpus with a
+// (typically degraded) linker, preserving table order and categories so
+// gold ground truth stays comparable.
+func relinkLakeKeepGold(env *Env, linker linking.Linker) *lake.Lake {
+	return relinkLake(env.Lake, linker)
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"thetis/internal/metrics"
+)
+
+// newTabWriter standardizes experiment table formatting.
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// renderHeader prints a boxed section title.
+func renderHeader(w io.Writer, title string) {
+	line := strings.Repeat("=", len(title))
+	fmt.Fprintf(w, "\n%s\n%s\n", title, line)
+}
+
+// fmtSummary renders a metrics.Summary as the box-plot statistics the
+// paper's figures show.
+func fmtSummary(s metrics.Summary) string {
+	return fmt.Sprintf("med=%.3f mean=%.3f q1=%.3f q3=%.3f min=%.3f max=%.3f",
+		s.Median, s.Mean, s.Q1, s.Q3, s.Min, s.Max)
+}
+
+// fmtPct formats a ratio as a percentage with one decimal.
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

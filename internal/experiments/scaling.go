@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"thetis/internal/core"
+	"thetis/internal/datagen"
+	"thetis/internal/lake"
+)
+
+// toTableIDs converts raw int32 document IDs to lake table IDs.
+func toTableIDs(docs []int32) []lake.TableID {
+	out := make([]lake.TableID, len(docs))
+	for i, d := range docs {
+		out[i] = lake.TableID(d)
+	}
+	return out
+}
+
+// ScalingRow is one corpus size of the synthetic scaling experiment.
+type ScalingRow struct {
+	Corpus    string
+	Tables    int
+	Tuples    int
+	Method    string
+	MeanTime  time.Duration
+	Reduction float64
+}
+
+// ScalingResult regenerates the synthetic-dataset scaling experiment of
+// Section 7.4: three corpora built by row-resampling expansion of the base
+// corpus (the paper's 0.7M/1.2M/1.7M sweep, scaled), searched with LSH
+// (30,10) prefiltering using types and embeddings. The expected shape is a
+// linear runtime increase with corpus size and a stable reduction
+// percentage, with types prefiltering more aggressively than embeddings.
+type ScalingResult struct {
+	Rows []ScalingRow
+}
+
+// ScalingFactors are the expansion factors applied to the base corpus,
+// preserving the paper's ~1 : 1.7 : 2.4 corpus-size ratios.
+var ScalingFactors = []int{2, 4, 6}
+
+// RunScaling expands the base corpus and measures search runtimes.
+func RunScaling(env *Env) ScalingResult {
+	var out ScalingResult
+	cfg := core.LSEIConfig{Vectors: 30, BandSize: 10, Seed: 1}
+	for _, factor := range ScalingFactors {
+		big := datagen.ExpandCorpus(env.Lake, factor, int64(1000+factor))
+		name := fmt.Sprintf("%dx", 1+factor)
+		tj := env.TJ
+		ec := env.EC
+		typeLSEI := core.BuildTypeLSEI(big, tj, cfg)
+		embLSEI := core.BuildEmbeddingLSEI(big, ec, env.Store.Dim(), cfg)
+
+		for _, tuples := range []int{1, 5} {
+			queries := env.QuerySet(tuples)
+			for _, kind := range []SimKind{SimTypes, SimEmbeddings} {
+				var eng *core.Engine
+				var lsei *core.LSEI
+				if kind == SimEmbeddings {
+					eng = core.NewEngine(big, ec)
+					lsei = embLSEI
+				} else {
+					eng = core.NewEngine(big, tj)
+					lsei = typeLSEI
+				}
+				var total time.Duration
+				var reduction float64
+				for _, bq := range queries {
+					start := time.Now()
+					cands := lsei.Candidates(bq.Query, 3)
+					eng.SearchCandidates(bq.Query, cands, 10)
+					total += time.Since(start)
+					reduction += lsei.Reduction(cands)
+				}
+				n := time.Duration(len(queries))
+				out.Rows = append(out.Rows, ScalingRow{
+					Corpus: name, Tables: big.NumTables(), Tuples: tuples,
+					Method:   fmt.Sprintf("%v(30,10)", kind),
+					MeanTime: total / n, Reduction: reduction / float64(len(queries)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the scaling sweep.
+func (r ScalingResult) Render(w io.Writer) {
+	renderHeader(w, "Synthetic scaling: runtime vs corpus size, LSH(30,10)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Corpus\tTables\tTuples\tMethod\tMean time\tReduction")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%v\t%s\n",
+			row.Corpus, row.Tables, row.Tuples, row.Method,
+			row.MeanTime.Round(time.Microsecond), fmtPct(row.Reduction))
+	}
+	tw.Flush()
+}

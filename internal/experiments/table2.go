@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"thetis/internal/datagen"
+	"thetis/internal/lake"
+)
+
+// Table2Row is one benchmark-statistics row of Table 2: query shape plus
+// corpus shape.
+type Table2Row struct {
+	Name         string
+	QueryTables  int
+	QueryColumns float64
+	Tables       int
+	MeanRows     float64
+	MeanColumns  float64
+	MeanCoverage float64
+}
+
+// Table2Result regenerates Table 2 ("Benchmark statistics").
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 generates all four corpus profiles against the environment's KG
+// at sizes preserving the paper's relative corpus scale
+// (WT2015 : WT2019 : GitTables : Synthetic ≈ 1 : 1.9 : 3.6 : 7.3) and
+// reports their statistics. The environment's own corpus is the WT2015 row.
+func RunTable2(env *Env) Table2Result {
+	n := env.Config.Tables
+	queries := env.Queries5
+	qCols := 0.0
+	for _, q := range queries {
+		for _, t := range q.Query {
+			qCols += float64(len(t))
+		}
+	}
+	if tot := float64(len(queries) * 5); tot > 0 {
+		qCols /= tot
+	}
+
+	row := func(name string, l *lake.Lake) Table2Row {
+		s := l.ComputeStats()
+		return Table2Row{
+			Name:         name,
+			QueryTables:  len(queries),
+			QueryColumns: qCols,
+			Tables:       s.Tables,
+			MeanRows:     s.MeanRows,
+			MeanColumns:  s.MeanColumns,
+			MeanCoverage: s.MeanCoverage,
+		}
+	}
+
+	synthetic := datagen.ExpandCorpus(env.Lake, 6, 77) // 7x WT2015, the paper's ~7.3 ratio
+	if !env.CanGenerate() {
+		// Replayed benchmark: only the loaded corpus and its expansion.
+		return Table2Result{Rows: []Table2Row{
+			row("WT 2015", env.Lake),
+			row("Synthetic", synthetic),
+		}}
+	}
+	wt2019 := datagen.GenerateCorpus(env.KG, datagen.ProfileWT2019(n*19/10))
+	git := datagen.GenerateCorpus(env.KG, datagen.ProfileGitTables(n*36/10))
+
+	return Table2Result{Rows: []Table2Row{
+		row("WT 2015", env.Lake),
+		row("WT 2019", wt2019),
+		row("GitTables", git),
+		row("Synthetic", synthetic),
+	}}
+}
+
+// Render prints the paper-style table.
+func (r Table2Result) Render(w io.Writer) {
+	renderHeader(w, "Table 2: Benchmark statistics")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Corpus\tQueries T\tQueries C\tTables T\tMean R\tMean C\tCov")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%.1f\t%.1f\t%s\n",
+			row.Name, row.QueryTables, row.QueryColumns, row.Tables,
+			row.MeanRows, row.MeanColumns, fmtPct(row.MeanCoverage))
+	}
+	tw.Flush()
+}

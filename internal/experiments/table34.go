@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RuntimeCell is one cell of the Tables 3/4 grid: a method evaluated on one
+// query size with one vote threshold.
+type RuntimeCell struct {
+	Method    string
+	Tuples    int
+	Votes     int // 0 for brute-force columns
+	MeanTime  time.Duration
+	Reduction float64
+}
+
+// Table34Result regenerates Table 3 (runtime with LSH prefiltering) and
+// Table 4 (search-space reduction) in one pass, since both come from the
+// same runs.
+type Table34Result struct {
+	Cells []RuntimeCell
+}
+
+// RunTable34 measures runtime and search-space reduction for the
+// brute-force engines and every LSH configuration at 1 and 3 votes, on 1-
+// and 5-tuple queries.
+func RunTable34(env *Env) Table34Result {
+	m := NewMethods(env)
+	var out Table34Result
+	for _, tuples := range []int{1, 5} {
+		queries := env.QuerySet(tuples)
+		for _, kind := range []SimKind{SimTypes, SimEmbeddings} {
+			r := m.SemanticBrute(kind)
+			rt := evalRuntime(env, r, queries)
+			out.Cells = append(out.Cells, RuntimeCell{
+				Method: r.Name, Tuples: tuples, Votes: 0,
+				MeanTime: rt.MeanTime, Reduction: rt.MeanReduction,
+			})
+		}
+		for _, votes := range []int{1, 3} {
+			for _, kind := range []SimKind{SimTypes, SimEmbeddings} {
+				for _, cfg := range PaperLSHConfigs() {
+					r := m.SemanticLSH(kind, cfg, votes)
+					rt := evalRuntime(env, r, queries)
+					out.Cells = append(out.Cells, RuntimeCell{
+						Method: r.Name, Tuples: tuples, Votes: votes,
+						MeanTime: rt.MeanTime, Reduction: rt.MeanReduction,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Render prints both tables.
+func (r Table34Result) Render(w io.Writer) {
+	renderHeader(w, "Table 3: Mean search runtime (LSH prefiltering by configuration)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Method\tTuples\tVotes\tMean time")
+	for _, c := range r.Cells {
+		votes := fmt.Sprintf("%d", c.Votes)
+		if c.Votes == 0 {
+			votes = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%v\n", c.Method, c.Tuples, votes, c.MeanTime.Round(time.Microsecond))
+	}
+	tw.Flush()
+
+	renderHeader(w, "Table 4: Search-space reduction (LSH prefiltering by configuration)")
+	tw = newTabWriter(w)
+	fmt.Fprintln(tw, "Method\tTuples\tVotes\tReduction")
+	for _, c := range r.Cells {
+		if c.Votes == 0 {
+			continue // brute force prunes nothing; Table 4 covers LSH only
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", c.Method, c.Tuples, c.Votes, fmtPct(c.Reduction))
+	}
+	tw.Flush()
+}
+
+// Cell returns a grid cell by coordinates, with ok=false when absent.
+func (r Table34Result) Cell(method string, tuples, votes int) (RuntimeCell, bool) {
+	for _, c := range r.Cells {
+		if c.Method == method && c.Tuples == tuples && c.Votes == votes {
+			return c, true
+		}
+	}
+	return RuntimeCell{}, false
+}

@@ -1,0 +1,143 @@
+// Package hungarian solves the linear assignment problem with the Hungarian
+// method (Kuhn–Munkres, potentials formulation, O(n²·m)). Thetis uses it to
+// map query-tuple entities to table columns such that the summed
+// column-relevance score is maximized (Section 5.1 of the paper).
+package hungarian
+
+import "math"
+
+// Maximize finds an assignment of rows to columns of the score matrix that
+// maximizes the total score, assigning each row to at most one column and
+// each column to at most one row. It returns, for each row, the assigned
+// column index, or -1 when the row is unassigned (possible only when there
+// are more rows than columns). All rows of score must have equal length.
+//
+// The solver is exact; negative scores are allowed. An empty matrix yields
+// an empty assignment.
+func Maximize(score [][]float64) []int {
+	n := len(score)
+	if n == 0 {
+		return nil
+	}
+	m := len(score[0])
+	if m == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+
+	if n <= m {
+		cost := negate(score, n, m)
+		return minCostAssign(cost, n, m)
+	}
+	// More rows than columns: solve the transpose and invert the mapping.
+	t := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		t[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			t[j][i] = -score[i][j]
+		}
+	}
+	colToRow := minCostAssign(t, m, n)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j, i := range colToRow {
+		if i >= 0 {
+			out[i] = j
+		}
+	}
+	return out
+}
+
+// TotalScore sums the score of an assignment produced by Maximize.
+func TotalScore(score [][]float64, assignment []int) float64 {
+	var total float64
+	for i, j := range assignment {
+		if j >= 0 {
+			total += score[i][j]
+		}
+	}
+	return total
+}
+
+func negate(score [][]float64, n, m int) [][]float64 {
+	cost := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cost[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			cost[i][j] = -score[i][j]
+		}
+	}
+	return cost
+}
+
+// minCostAssign solves min-cost assignment for an n×m cost matrix with
+// n ≤ m, assigning every row. It returns per-row column indexes.
+func minCostAssign(a [][]float64, n, m int) []int {
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row (1-based) currently matched to column j; 0 = free
+	way := make([]int, m+1) // way[j]: previous column on the augmenting path
+
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	out := make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}

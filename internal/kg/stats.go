@@ -1,0 +1,66 @@
+package kg
+
+import "sort"
+
+// Stats summarizes the structural properties of a graph. It backs the
+// corpus/KG statistics reported in the experimental setup (Section 7.1 of
+// the paper quotes node, edge, type, and predicate counts for DBpedia).
+type Stats struct {
+	Entities   int
+	Edges      int
+	Types      int
+	Predicates int
+
+	// MeanTypesPerEntity is the average size of the direct type set.
+	MeanTypesPerEntity float64
+	// MeanDegree is the average total degree.
+	MeanDegree float64
+	// TypeFrequency maps every type to the number of entities annotated
+	// with it (direct annotations only).
+	TypeFrequency map[TypeID]int
+}
+
+// ComputeStats scans the graph once and returns its statistics.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Entities:      g.NumEntities(),
+		Edges:         g.NumEdges(),
+		Types:         g.NumTypes(),
+		Predicates:    g.NumPredicates(),
+		TypeFrequency: make(map[TypeID]int),
+	}
+	if s.Entities == 0 {
+		return s
+	}
+	totalTypes, totalDegree := 0, 0
+	for e := EntityID(0); int(e) < g.NumEntities(); e++ {
+		ts := g.Types(e)
+		totalTypes += len(ts)
+		totalDegree += g.Degree(e)
+		for _, t := range ts {
+			s.TypeFrequency[t]++
+		}
+	}
+	s.MeanTypesPerEntity = float64(totalTypes) / float64(s.Entities)
+	s.MeanDegree = float64(totalDegree) / float64(s.Entities)
+	return s
+}
+
+// TopTypes returns the n most frequent types in descending frequency order.
+func (s Stats) TopTypes(n int) []TypeID {
+	ids := make([]TypeID, 0, len(s.TypeFrequency))
+	for t := range s.TypeFrequency {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		fi, fj := s.TypeFrequency[ids[i]], s.TypeFrequency[ids[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return ids[i] < ids[j]
+	})
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	return ids
+}

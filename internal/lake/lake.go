@@ -1,0 +1,115 @@
+// Package lake implements the data-lake corpus store: a collection of
+// tables with dense table IDs, entity→table posting lists, and the corpus
+// statistics reported in Table 2 of the paper. Together with a kg.Graph and
+// the entity annotations on cells it forms the Semantic Data Lake of
+// Definition 2.1.
+package lake
+
+import (
+	"fmt"
+	"sort"
+
+	"thetis/internal/kg"
+	"thetis/internal/table"
+)
+
+// TableID identifies a table within a Lake. IDs are dense and start at 0.
+type TableID int32
+
+// Lake is an append-only corpus of tables tied to a reference KG. It is
+// safe for concurrent readers once ingestion has finished.
+type Lake struct {
+	Graph  *kg.Graph
+	tables []*table.Table
+
+	// postings maps each entity to the sorted list of tables mentioning it
+	// (the Φ⁻¹ side of the semantic data lake mapping).
+	postings map[kg.EntityID][]TableID
+	// entityFreq counts, per entity, the number of tables that mention it;
+	// this drives the informativeness weight I(e).
+	entityFreq map[kg.EntityID]int
+}
+
+// New creates an empty lake over graph g.
+func New(g *kg.Graph) *Lake {
+	return &Lake{
+		Graph:      g,
+		postings:   make(map[kg.EntityID][]TableID),
+		entityFreq: make(map[kg.EntityID]int),
+	}
+}
+
+// Add ingests a table and returns its ID. The table's entity annotations
+// are indexed into the posting lists at this point; annotations added to the
+// table afterwards are invisible to the lake (re-ingest instead).
+func (l *Lake) Add(t *table.Table) TableID {
+	id := TableID(len(l.tables))
+	l.tables = append(l.tables, t)
+	for _, e := range t.Entities() {
+		l.postings[e] = append(l.postings[e], id)
+		l.entityFreq[e]++
+	}
+	return id
+}
+
+// NumTables returns the number of ingested tables.
+func (l *Lake) NumTables() int { return len(l.tables) }
+
+// Table returns the table with the given ID.
+func (l *Lake) Table(id TableID) *table.Table { return l.tables[int(id)] }
+
+// Tables returns all tables in ID order. The slice is owned by the lake.
+func (l *Lake) Tables() []*table.Table { return l.tables }
+
+// TablesWith returns the IDs of tables mentioning entity e, in ID order.
+// The slice is owned by the lake and must not be modified.
+func (l *Lake) TablesWith(e kg.EntityID) []TableID { return l.postings[e] }
+
+// EntityFrequency returns the number of tables mentioning entity e.
+func (l *Lake) EntityFrequency(e kg.EntityID) int { return l.entityFreq[e] }
+
+// DistinctEntities returns all entities mentioned anywhere in the lake,
+// sorted by ID.
+func (l *Lake) DistinctEntities() []kg.EntityID {
+	out := make([]kg.EntityID, 0, len(l.entityFreq))
+	for e := range l.entityFreq {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats holds the per-corpus statistics of Table 2 in the paper: table
+// count, mean rows, mean columns, and mean entity-link coverage.
+type Stats struct {
+	Tables       int
+	MeanRows     float64
+	MeanColumns  float64
+	MeanCoverage float64
+	// DistinctEntities is the number of distinct linked entities.
+	DistinctEntities int
+}
+
+// ComputeStats scans the corpus once.
+func (l *Lake) ComputeStats() Stats {
+	s := Stats{Tables: len(l.tables), DistinctEntities: len(l.entityFreq)}
+	if s.Tables == 0 {
+		return s
+	}
+	var rows, cols, cov float64
+	for _, t := range l.tables {
+		rows += float64(t.NumRows())
+		cols += float64(t.NumColumns())
+		cov += t.LinkCoverage()
+	}
+	n := float64(s.Tables)
+	s.MeanRows = rows / n
+	s.MeanColumns = cols / n
+	s.MeanCoverage = cov / n
+	return s
+}
+
+// String renders the stats as one Table 2-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("T=%d R=%.1f C=%.1f Cov=%.1f%%", s.Tables, s.MeanRows, s.MeanColumns, 100*s.MeanCoverage)
+}

@@ -1,0 +1,112 @@
+package lake
+
+import (
+	"testing"
+
+	"thetis/internal/kg"
+	"thetis/internal/table"
+)
+
+func buildLake(t *testing.T) (*Lake, *kg.Graph) {
+	t.Helper()
+	g := kg.NewGraph()
+	santo := g.AddEntity("dbr:Ron_Santo", "Ron Santo")
+	cubs := g.AddEntity("dbr:Chicago_Cubs", "Chicago Cubs")
+	brewers := g.AddEntity("dbr:Milwaukee_Brewers", "Milwaukee Brewers")
+
+	l := New(g)
+
+	t1 := table.New("t1", []string{"Player", "Team"})
+	t1.AppendRow([]table.Cell{table.LinkedCell("Ron Santo", santo), table.LinkedCell("Chicago Cubs", cubs)})
+	l.Add(t1)
+
+	t2 := table.New("t2", []string{"Team", "City"})
+	t2.AppendRow([]table.Cell{table.LinkedCell("Chicago Cubs", cubs), {Value: "Chicago"}})
+	t2.AppendRow([]table.Cell{table.LinkedCell("Milwaukee Brewers", brewers), {Value: "Milwaukee"}})
+	l.Add(t2)
+
+	return l, g
+}
+
+func TestLakeAddAndLookup(t *testing.T) {
+	l, g := buildLake(t)
+	if l.NumTables() != 2 {
+		t.Fatalf("NumTables = %d", l.NumTables())
+	}
+	if l.Table(0).Name != "t1" || l.Table(1).Name != "t2" {
+		t.Error("table IDs not dense/ordered")
+	}
+	cubs, _ := g.Lookup("dbr:Chicago_Cubs")
+	posts := l.TablesWith(cubs)
+	if len(posts) != 2 || posts[0] != 0 || posts[1] != 1 {
+		t.Errorf("postings for cubs = %v, want [0 1]", posts)
+	}
+	santo, _ := g.Lookup("dbr:Ron_Santo")
+	if f := l.EntityFrequency(santo); f != 1 {
+		t.Errorf("freq(santo) = %d, want 1", f)
+	}
+	if f := l.EntityFrequency(cubs); f != 2 {
+		t.Errorf("freq(cubs) = %d, want 2", f)
+	}
+	if n := len(l.DistinctEntities()); n != 3 {
+		t.Errorf("distinct entities = %d, want 3", n)
+	}
+}
+
+func TestLakeUnknownEntity(t *testing.T) {
+	l, g := buildLake(t)
+	stranger := g.AddEntity("dbr:Stranger", "")
+	if posts := l.TablesWith(stranger); len(posts) != 0 {
+		t.Errorf("postings for unseen entity = %v", posts)
+	}
+	if l.EntityFrequency(stranger) != 0 {
+		t.Error("frequency for unseen entity should be 0")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l, _ := buildLake(t)
+	s := l.ComputeStats()
+	if s.Tables != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MeanRows != 1.5 {
+		t.Errorf("MeanRows = %v, want 1.5", s.MeanRows)
+	}
+	if s.MeanColumns != 2 {
+		t.Errorf("MeanColumns = %v, want 2", s.MeanColumns)
+	}
+	// t1 coverage = 1.0, t2 coverage = 0.5 -> mean 0.75
+	if s.MeanCoverage != 0.75 {
+		t.Errorf("MeanCoverage = %v, want 0.75", s.MeanCoverage)
+	}
+	if s.DistinctEntities != 3 {
+		t.Errorf("DistinctEntities = %d, want 3", s.DistinctEntities)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := New(kg.NewGraph()).ComputeStats()
+	if s.Tables != 0 || s.MeanRows != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestEntityCountedOncePerTable(t *testing.T) {
+	g := kg.NewGraph()
+	e := g.AddEntity("dbr:E", "E")
+	l := New(g)
+	tb := table.New("dup", []string{"a", "b"})
+	tb.AppendRow([]table.Cell{table.LinkedCell("E", e), table.LinkedCell("E", e)})
+	tb.AppendRow([]table.Cell{table.LinkedCell("E", e), {Value: "x"}})
+	l.Add(tb)
+	if f := l.EntityFrequency(e); f != 1 {
+		t.Errorf("entity mentioned 3x in one table has frequency %d, want 1", f)
+	}
+	if posts := l.TablesWith(e); len(posts) != 1 {
+		t.Errorf("postings = %v, want one entry", posts)
+	}
+}

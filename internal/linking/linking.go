@@ -1,0 +1,219 @@
+// Package linking implements entity linking: the partial mapping Φ from
+// table cell values to KG entities that turns a plain data lake into a
+// semantic data lake (Definition 2.1). Three linkers are provided:
+//
+//   - DictionaryLinker: exact normalized-label matching, standing in for the
+//     ground-truth links shipped with the WikiTables benchmarks.
+//   - FuzzyLinker: token-overlap search over KG labels, standing in for the
+//     Lucene label index the paper builds to link GitTables.
+//   - NoisyLinker: a wrapper that degrades another linker's coverage and
+//     precision, standing in for the EMBLOOKUP experiment of Section 7.5.
+package linking
+
+import (
+	"math/rand"
+	"strings"
+
+	"thetis/internal/bm25"
+	"thetis/internal/kg"
+	"thetis/internal/table"
+)
+
+// Linker resolves a cell value to a KG entity.
+type Linker interface {
+	// Link returns the entity a value refers to, or false when the value
+	// cannot be linked.
+	Link(value string) (kg.EntityID, bool)
+}
+
+// Normalize canonicalizes a label or cell value for exact matching:
+// lowercased, interior whitespace collapsed.
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// DictionaryLinker links values whose normalized form exactly equals an
+// entity label. Ambiguous labels resolve to the entity with the highest
+// degree (the usual "most prominent sense" heuristic).
+type DictionaryLinker struct {
+	byLabel map[string]kg.EntityID
+}
+
+// NewDictionaryLinker indexes every labeled entity of g.
+func NewDictionaryLinker(g *kg.Graph) *DictionaryLinker {
+	d := &DictionaryLinker{byLabel: make(map[string]kg.EntityID, g.NumEntities())}
+	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
+		label := Normalize(g.Label(e))
+		if label == "" {
+			continue
+		}
+		if prev, ok := d.byLabel[label]; ok {
+			if g.Degree(e) <= g.Degree(prev) {
+				continue
+			}
+		}
+		d.byLabel[label] = e
+	}
+	return d
+}
+
+// Link implements Linker.
+func (d *DictionaryLinker) Link(value string) (kg.EntityID, bool) {
+	e, ok := d.byLabel[Normalize(value)]
+	if !ok {
+		return kg.InvalidEntity, false
+	}
+	return e, true
+}
+
+// FuzzyLinker links values by token overlap with entity labels, using a
+// small BM25 index over labels (the Lucene-substitute of Section 7.4's
+// GitTables setup). A value links to the best-scoring entity whose label
+// shares at least MinOverlap of the value's tokens.
+type FuzzyLinker struct {
+	index    *bm25.Index
+	labels   []string // entity ID -> normalized label tokens joined
+	minScore float64
+	overlap  float64
+}
+
+// NewFuzzyLinker indexes entity labels. minOverlap is the minimum fraction
+// of query tokens that must appear in the winning label (0.5 is a sensible
+// default; 1.0 demands all tokens).
+func NewFuzzyLinker(g *kg.Graph, minOverlap float64) *FuzzyLinker {
+	f := &FuzzyLinker{
+		index:   bm25.NewIndex(),
+		labels:  make([]string, g.NumEntities()),
+		overlap: minOverlap,
+	}
+	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
+		label := Normalize(g.Label(e))
+		f.labels[e] = label
+		if label != "" {
+			f.index.Add(int32(e), label)
+		}
+	}
+	f.index.Finish()
+	return f
+}
+
+// Link implements Linker.
+func (f *FuzzyLinker) Link(value string) (kg.EntityID, bool) {
+	tokens := bm25.Tokenize(value)
+	if len(tokens) == 0 {
+		return kg.InvalidEntity, false
+	}
+	res := f.index.Search(value, 1)
+	if len(res) == 0 {
+		return kg.InvalidEntity, false
+	}
+	best := kg.EntityID(res[0].Doc)
+	labelTokens := make(map[string]bool)
+	for _, t := range bm25.Tokenize(f.labels[best]) {
+		labelTokens[t] = true
+	}
+	hit := 0
+	for _, t := range tokens {
+		if labelTokens[t] {
+			hit++
+		}
+	}
+	if float64(hit)/float64(len(tokens)) < f.overlap {
+		return kg.InvalidEntity, false
+	}
+	return best, true
+}
+
+// NoisyLinker wraps a base linker and degrades it: each successful link is
+// dropped with probability DropRate and, if kept, replaced by a random
+// wrong entity with probability ErrorRate. Degradation is deterministic per
+// value (hash-seeded), so the same value always links the same way.
+type NoisyLinker struct {
+	Base      Linker
+	DropRate  float64
+	ErrorRate float64
+	Seed      int64
+	NumEnt    int
+}
+
+// NewNoisyLinker builds a noisy wrapper over base for a graph with
+// numEntities entities.
+func NewNoisyLinker(base Linker, numEntities int, dropRate, errorRate float64, seed int64) *NoisyLinker {
+	return &NoisyLinker{Base: base, DropRate: dropRate, ErrorRate: errorRate, Seed: seed, NumEnt: numEntities}
+}
+
+// Link implements Linker.
+func (n *NoisyLinker) Link(value string) (kg.EntityID, bool) {
+	e, ok := n.Base.Link(value)
+	if !ok {
+		return kg.InvalidEntity, false
+	}
+	rng := rand.New(rand.NewSource(n.Seed ^ int64(stringHash(value))))
+	if rng.Float64() < n.DropRate {
+		return kg.InvalidEntity, false
+	}
+	if n.NumEnt > 0 && rng.Float64() < n.ErrorRate {
+		return kg.EntityID(rng.Intn(n.NumEnt)), true
+	}
+	return e, true
+}
+
+func stringHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// LinkTable annotates every cell of t using l, overwriting existing links.
+// It returns the number of linked cells.
+func LinkTable(t *table.Table, l Linker) int {
+	linked := 0
+	for _, row := range t.Rows {
+		for i := range row {
+			if e, ok := l.Link(row[i].Value); ok {
+				row[i].Entity = table.Ref(e)
+				linked++
+			} else {
+				row[i].Entity = table.NoEntity
+			}
+		}
+	}
+	return linked
+}
+
+// Quality compares predicted links against a gold table cell-by-cell and
+// returns precision, recall, and F1 (the paper quotes the EMBLOOKUP linker
+// at F1 = 0.21). Both tables must have the same shape.
+func Quality(gold, predicted *table.Table) (precision, recall, f1 float64) {
+	var tp, fp, fn float64
+	for i, row := range gold.Rows {
+		for j := range row {
+			ge, gok := gold.Rows[i][j].EntityID()
+			pe, pok := predicted.Rows[i][j].EntityID()
+			switch {
+			case gok && pok && ge == pe:
+				tp++
+			case pok && (!gok || ge != pe):
+				fp++
+				if gok {
+					fn++
+				}
+			case gok && !pok:
+				fn++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		recall = tp / (tp + fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

@@ -1,0 +1,196 @@
+package linking
+
+import (
+	"testing"
+
+	"thetis/internal/kg"
+	"thetis/internal/table"
+)
+
+func linkGraph() *kg.Graph {
+	g := kg.NewGraph()
+	g.AddEntity("dbr:Ron_Santo", "Ron Santo")
+	g.AddEntity("dbr:Chicago_Cubs", "Chicago Cubs")
+	g.AddEntity("dbr:Chicago", "Chicago")
+	g.AddEntity("dbr:Milwaukee_Brewers", "Milwaukee Brewers")
+	return g
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  Ron   SANTO "); got != "ron santo" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if got := Normalize(""); got != "" {
+		t.Errorf("Normalize(empty) = %q", got)
+	}
+}
+
+func TestDictionaryLinker(t *testing.T) {
+	g := linkGraph()
+	d := NewDictionaryLinker(g)
+	e, ok := d.Link("ron santo")
+	if !ok || g.URI(e) != "dbr:Ron_Santo" {
+		t.Fatalf("Link(ron santo) = %v, %v", e, ok)
+	}
+	if _, ok := d.Link("Tony Giarratano"); ok {
+		t.Error("unknown value linked")
+	}
+	if _, ok := d.Link(""); ok {
+		t.Error("empty value linked")
+	}
+	// Case and whitespace insensitive.
+	if _, ok := d.Link("  CHICAGO   cubs "); !ok {
+		t.Error("normalization failed")
+	}
+}
+
+func TestDictionaryLinkerAmbiguityPrefersDegree(t *testing.T) {
+	g := kg.NewGraph()
+	a := g.AddEntity("dbr:Springfield_IL", "Springfield")
+	b := g.AddEntity("dbr:Springfield_MA", "Springfield")
+	p := g.AddPredicate("rel")
+	other := g.AddEntity("dbr:Other", "Other")
+	g.AddEdge(b, p, other)
+	g.AddEdge(b, p, other)
+	d := NewDictionaryLinker(g)
+	e, ok := d.Link("Springfield")
+	if !ok || e != b {
+		t.Errorf("ambiguous link = %v (a=%v b=%v), want higher-degree b", e, a, b)
+	}
+}
+
+func TestFuzzyLinker(t *testing.T) {
+	g := linkGraph()
+	f := NewFuzzyLinker(g, 0.5)
+	// Exact match works.
+	e, ok := f.Link("Chicago Cubs")
+	if !ok || g.URI(e) != "dbr:Chicago_Cubs" {
+		t.Fatalf("fuzzy exact = %v %v", e, ok)
+	}
+	// Partial token overlap above threshold: "Cubs Chicago roster" has 2/3
+	// tokens in "chicago cubs".
+	e, ok = f.Link("Cubs Chicago roster")
+	if !ok || g.URI(e) != "dbr:Chicago_Cubs" {
+		t.Errorf("fuzzy partial = %v %v", e, ok)
+	}
+	// Below threshold: only 1/3 tokens overlap.
+	if _, ok := f.Link("cubs winter festival"); ok {
+		t.Error("low-overlap value linked")
+	}
+	if _, ok := f.Link("???"); ok {
+		t.Error("punctuation-only value linked")
+	}
+}
+
+func TestNoisyLinkerDropsAndCorrupts(t *testing.T) {
+	g := linkGraph()
+	base := NewDictionaryLinker(g)
+	// Full drop.
+	n := NewNoisyLinker(base, g.NumEntities(), 1.0, 0, 1)
+	if _, ok := n.Link("Ron Santo"); ok {
+		t.Error("DropRate=1 still linked")
+	}
+	// No noise passes through.
+	n = NewNoisyLinker(base, g.NumEntities(), 0, 0, 1)
+	e, ok := n.Link("Ron Santo")
+	if !ok || g.URI(e) != "dbr:Ron_Santo" {
+		t.Errorf("no-noise link = %v %v", e, ok)
+	}
+	// Full corruption keeps a link but (statistically) changes the target.
+	n = NewNoisyLinker(base, g.NumEntities(), 0, 1.0, 1)
+	changed := false
+	for _, v := range []string{"Ron Santo", "Chicago Cubs", "Chicago", "Milwaukee Brewers"} {
+		if e, ok := n.Link(v); ok {
+			if want, _ := base.Link(v); e != want {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("ErrorRate=1 never corrupted a link")
+	}
+}
+
+func TestNoisyLinkerDeterministicPerValue(t *testing.T) {
+	g := linkGraph()
+	n := NewNoisyLinker(NewDictionaryLinker(g), g.NumEntities(), 0.5, 0.3, 42)
+	e1, ok1 := n.Link("Chicago Cubs")
+	e2, ok2 := n.Link("Chicago Cubs")
+	if ok1 != ok2 || e1 != e2 {
+		t.Error("noisy linking not deterministic per value")
+	}
+}
+
+func TestLinkTable(t *testing.T) {
+	g := linkGraph()
+	tb := table.New("t", []string{"Player", "Team"})
+	tb.AppendValues("Ron Santo", "Chicago Cubs")
+	tb.AppendValues("Nobody Special", "Chicago Cubs")
+	n := LinkTable(tb, NewDictionaryLinker(g))
+	if n != 3 {
+		t.Errorf("LinkTable linked %d cells, want 3", n)
+	}
+	if !tb.Rows[0][0].Linked() || tb.Rows[1][0].Linked() {
+		t.Error("wrong cells linked")
+	}
+}
+
+func TestLinkTableOverwritesStaleLinks(t *testing.T) {
+	g := linkGraph()
+	e, _ := g.Lookup("dbr:Chicago")
+	tb := table.New("t", []string{"A"})
+	tb.AppendRow([]table.Cell{table.LinkedCell("Garbage Value", e)})
+	LinkTable(tb, NewDictionaryLinker(g))
+	if tb.Rows[0][0].Linked() {
+		t.Error("stale link not cleared")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	g := linkGraph()
+	santo, _ := g.Lookup("dbr:Ron_Santo")
+	cubs, _ := g.Lookup("dbr:Chicago_Cubs")
+	chicago, _ := g.Lookup("dbr:Chicago")
+
+	gold := table.New("g", []string{"a", "b", "c"})
+	gold.AppendRow([]table.Cell{
+		table.LinkedCell("Ron Santo", santo),
+		table.LinkedCell("Chicago Cubs", cubs),
+		{Value: ".277"},
+	})
+	pred := gold.Clone()
+	// One correct, one wrong, one spurious.
+	pred.Rows[0][1].Entity = table.Ref(chicago) // wrong target
+	pred.Rows[0][2].Entity = table.Ref(chicago) // spurious link
+	p, r, f1 := Quality(gold, pred)
+	// tp=1 (santo), fp=2, fn=1 -> P=1/3, R=1/2, F1=0.4
+	if p < 0.33 || p > 0.34 {
+		t.Errorf("precision = %v, want 1/3", p)
+	}
+	if r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+	if f1 < 0.39 || f1 > 0.41 {
+		t.Errorf("f1 = %v, want 0.4", f1)
+	}
+}
+
+func TestQualityPerfect(t *testing.T) {
+	g := linkGraph()
+	santo, _ := g.Lookup("dbr:Ron_Santo")
+	gold := table.New("g", []string{"a"})
+	gold.AppendRow([]table.Cell{table.LinkedCell("Ron Santo", santo)})
+	p, r, f1 := Quality(gold, gold.Clone())
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect quality = %v %v %v", p, r, f1)
+	}
+}
+
+func TestQualityEmpty(t *testing.T) {
+	gold := table.New("g", []string{"a"})
+	gold.AppendValues("x")
+	p, r, f1 := Quality(gold, gold.Clone())
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("no-links quality = %v %v %v", p, r, f1)
+	}
+}

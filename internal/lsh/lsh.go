@@ -1,0 +1,250 @@
+// Package lsh implements the two locality-sensitive hashing schemes behind
+// the paper's Locality-Sensitive Entity Index (Section 6): MinHash over
+// shingle sets (for entity types) and random hyperplane projections (for
+// entity embeddings), plus the banded bucket index both share.
+//
+// A signature of P values is split into P/B bands of size B; each band is
+// hashed into its own group of buckets. Two items collide when any band
+// hashes equally, so larger bands mean more selective (but lossier) lookups
+// — exactly the (permutations/projections, band size) trade-off the paper
+// sweeps as configurations (32,8), (128,8), and (30,10).
+package lsh
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+
+	"thetis/internal/embedding"
+)
+
+// MinHasher computes MinHash signatures of shingle sets using one universal
+// hash function per permutation: h_i(x) = (a_i·x + b_i) mod p with a large
+// Mersenne prime p.
+type MinHasher struct {
+	a, b []uint64
+}
+
+const mersenne61 = (1 << 61) - 1
+
+// NewMinHasher creates a hasher with the given number of permutations.
+func NewMinHasher(permutations int, seed int64) *MinHasher {
+	rng := rand.New(rand.NewSource(seed))
+	m := &MinHasher{
+		a: make([]uint64, permutations),
+		b: make([]uint64, permutations),
+	}
+	for i := 0; i < permutations; i++ {
+		m.a[i] = uint64(rng.Int63n(mersenne61-1)) + 1 // a != 0
+		m.b[i] = uint64(rng.Int63n(mersenne61))
+	}
+	return m
+}
+
+// Permutations returns the signature length.
+func (m *MinHasher) Permutations() int { return len(m.a) }
+
+// Signature computes the MinHash signature of a shingle set. An empty set
+// yields a signature of all-max values (colliding only with other empty
+// sets).
+func (m *MinHasher) Signature(shingles []uint64) []uint32 {
+	sig := make([]uint32, len(m.a))
+	for i := range sig {
+		sig[i] = ^uint32(0)
+	}
+	for _, s := range shingles {
+		x := mix64(s)
+		for i := range m.a {
+			h := mulmod61(m.a[i], x) + m.b[i]
+			if h >= mersenne61 {
+				h -= mersenne61
+			}
+			v := uint32(h ^ (h >> 32))
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// mulmod61 multiplies two values modulo 2^61-1 without overflow, using
+// 128-bit intermediate arithmetic via math/bits-style splitting.
+func mulmod61(a, b uint64) uint64 {
+	// Split a into high and low 32-bit halves: a = ah*2^32 + al.
+	ah, al := a>>32, a&0xFFFFFFFF
+	bh, bl := b>>32, b&0xFFFFFFFF
+	// a*b = ah*bh*2^64 + (ah*bl + al*bh)*2^32 + al*bl (mod 2^61-1)
+	// 2^61 ≡ 1, so 2^64 ≡ 8 and 2^32 parts are folded via shifts.
+	hi := ah * bh
+	mid := ah*bl + al*bh // may overflow; reduce each term
+	lo := al * bl
+	res := mod61(lo)
+	res = mod61(res + mod61shift(mid, 32))
+	res = mod61(res + mod61shift(hi, 64))
+	return res
+}
+
+// mod61shift reduces x·2^s modulo 2^61-1.
+func mod61shift(x uint64, s uint) uint64 {
+	r := mod61(x)
+	for s >= 61 {
+		s -= 61 // 2^61 ≡ 1
+	}
+	// r·2^s may overflow 64 bits when s > 3; reduce in chunks of 30 bits.
+	for s > 0 {
+		chunk := s
+		if chunk > 2 {
+			chunk = 2
+		}
+		r = mod61(r << chunk)
+		s -= chunk
+	}
+	return r
+}
+
+func mod61(x uint64) uint64 {
+	x = (x >> 61) + (x & mersenne61)
+	if x >= mersenne61 {
+		x -= mersenne61
+	}
+	return x
+}
+
+// mix64 is SplitMix64's finalizer, decorrelating raw shingle values.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HyperplaneHasher computes bit signatures of embedding vectors by random
+// projections: bit i is 1 iff the dot product with projection vector i is
+// positive.
+type HyperplaneHasher struct {
+	dim    int
+	planes [][]float32 // projections × dim, standard normal entries
+}
+
+// NewHyperplaneHasher creates a hasher with the given number of projection
+// vectors for embeddings of dimensionality dim.
+func NewHyperplaneHasher(projections, dim int, seed int64) *HyperplaneHasher {
+	rng := rand.New(rand.NewSource(seed))
+	h := &HyperplaneHasher{dim: dim, planes: make([][]float32, projections)}
+	for i := range h.planes {
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = float32(rng.NormFloat64())
+		}
+		h.planes[i] = p
+	}
+	return h
+}
+
+// Projections returns the signature length.
+func (h *HyperplaneHasher) Projections() int { return len(h.planes) }
+
+// Dim returns the expected vector dimensionality.
+func (h *HyperplaneHasher) Dim() int { return h.dim }
+
+// Signature computes the bit signature of v (one uint32 per bit: 0 or 1,
+// matching the banded index's value-based band hashing).
+func (h *HyperplaneHasher) Signature(v embedding.Vector) []uint32 {
+	sig := make([]uint32, len(h.planes))
+	for i, p := range h.planes {
+		var dot float64
+		for j := 0; j < h.dim && j < len(v); j++ {
+			dot += float64(p[j]) * float64(v[j])
+		}
+		if dot > 0 {
+			sig[i] = 1
+		}
+	}
+	return sig
+}
+
+// Index is a banded LSH bucket index over uint32 item IDs. Insert all items
+// first, then Query; the index is safe for concurrent queries afterwards.
+type Index struct {
+	bandSize int
+	bands    int
+	buckets  []map[uint64][]uint32 // one bucket map per band group
+}
+
+// NewIndex creates an index for signatures of length permutations, divided
+// into bands of bandSize values. The trailing remainder of a signature that
+// does not fill a whole band is ignored, mirroring the (30,10) setup where
+// 30 values form exactly 3 bands.
+func NewIndex(permutations, bandSize int) *Index {
+	if bandSize <= 0 || permutations < bandSize {
+		panic("lsh: band size must be in [1, permutations]")
+	}
+	bands := permutations / bandSize
+	ix := &Index{bandSize: bandSize, bands: bands, buckets: make([]map[uint64][]uint32, bands)}
+	for i := range ix.buckets {
+		ix.buckets[i] = make(map[uint64][]uint32)
+	}
+	return ix
+}
+
+// Bands returns the number of band groups.
+func (ix *Index) Bands() int { return ix.bands }
+
+// bandHash hashes one band of a signature together with the band number, so
+// identical values in different bands land in different bucket groups.
+func bandHash(sig []uint32, band, bandSize int) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(band))
+	h.Write(buf[:])
+	for _, v := range sig[band*bandSize : (band+1)*bandSize] {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Insert adds an item with the given signature to every band group.
+func (ix *Index) Insert(item uint32, sig []uint32) {
+	for b := 0; b < ix.bands; b++ {
+		key := bandHash(sig, b, ix.bandSize)
+		ix.buckets[b][key] = append(ix.buckets[b][key], item)
+	}
+}
+
+// Query returns the bag of items sharing at least one bucket with the
+// signature. Items colliding in multiple bands appear multiple times; use
+// QuerySet for deduplicated results.
+func (ix *Index) Query(sig []uint32) []uint32 {
+	var out []uint32
+	for b := 0; b < ix.bands; b++ {
+		key := bandHash(sig, b, ix.bandSize)
+		out = append(out, ix.buckets[b][key]...)
+	}
+	return out
+}
+
+// QuerySet returns the deduplicated set of items colliding with the
+// signature.
+func (ix *Index) QuerySet(sig []uint32) map[uint32]bool {
+	set := make(map[uint32]bool)
+	for b := 0; b < ix.bands; b++ {
+		key := bandHash(sig, b, ix.bandSize)
+		for _, it := range ix.buckets[b][key] {
+			set[it] = true
+		}
+	}
+	return set
+}
+
+// NumBuckets returns the total number of non-empty buckets across bands.
+func (ix *Index) NumBuckets() int {
+	n := 0
+	for _, m := range ix.buckets {
+		n += len(m)
+	}
+	return n
+}

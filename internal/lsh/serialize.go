@@ -1,0 +1,218 @@
+package lsh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization for hashers and indexes, so a built LSEI can be
+// persisted and reloaded instead of re-hashing a whole corpus at startup.
+// The format is little-endian with small magic headers per component.
+
+const (
+	magicMinHash = uint32(0x544D4831) // "TMH1"
+	magicHyper   = uint32(0x54485031) // "THP1"
+	magicIndex   = uint32(0x54495831) // "TIX1"
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+}
+
+func (cw countingWriter) u32(v uint32) error { return binary.Write(cw.w, binary.LittleEndian, v) }
+func (cw countingWriter) u64(v uint64) error { return binary.Write(cw.w, binary.LittleEndian, v) }
+
+type reader struct {
+	r io.Reader
+}
+
+func (rd reader) u32() (uint32, error) {
+	var v uint32
+	err := binary.Read(rd.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (rd reader) u64() (uint64, error) {
+	var v uint64
+	err := binary.Read(rd.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+// Write serializes the hasher's permutation parameters.
+func (m *MinHasher) Write(w io.Writer) error {
+	bw := countingWriter{bufio.NewWriter(w)}
+	if err := bw.u32(magicMinHash); err != nil {
+		return err
+	}
+	if err := bw.u32(uint32(len(m.a))); err != nil {
+		return err
+	}
+	for i := range m.a {
+		if err := bw.u64(m.a[i]); err != nil {
+			return err
+		}
+		if err := bw.u64(m.b[i]); err != nil {
+			return err
+		}
+	}
+	return bw.w.Flush()
+}
+
+// ReadMinHasher deserializes a hasher written by Write. It reads exactly
+// the hasher's bytes from r, so several components may share one stream.
+func ReadMinHasher(r io.Reader) (*MinHasher, error) {
+	rd := reader{r}
+	magic, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != magicMinHash {
+		return nil, fmt.Errorf("lsh: bad MinHasher magic %#x", magic)
+	}
+	n, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	m := &MinHasher{a: make([]uint64, n), b: make([]uint64, n)}
+	for i := uint32(0); i < n; i++ {
+		if m.a[i], err = rd.u64(); err != nil {
+			return nil, err
+		}
+		if m.b[i], err = rd.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Write serializes the projection planes.
+func (h *HyperplaneHasher) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, magicHyper); err != nil {
+		return err
+	}
+	header := []uint32{uint32(len(h.planes)), uint32(h.dim)}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range h.planes {
+		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHyperplaneHasher deserializes a hasher written by Write. It reads
+// exactly the hasher's bytes from r.
+func ReadHyperplaneHasher(r io.Reader) (*HyperplaneHasher, error) {
+	br := r
+	var magic, n, dim uint32
+	for _, p := range []*uint32{&magic, &n, &dim} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != magicHyper {
+		return nil, fmt.Errorf("lsh: bad HyperplaneHasher magic %#x", magic)
+	}
+	h := &HyperplaneHasher{dim: int(dim), planes: make([][]float32, n)}
+	for i := range h.planes {
+		p := make([]float32, dim)
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+		h.planes[i] = p
+	}
+	return h, nil
+}
+
+// Write serializes the banded bucket index.
+func (ix *Index) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	u32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	u64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := u32(magicIndex); err != nil {
+		return err
+	}
+	if err := u32(uint32(ix.bandSize)); err != nil {
+		return err
+	}
+	if err := u32(uint32(ix.bands)); err != nil {
+		return err
+	}
+	for _, buckets := range ix.buckets {
+		if err := u32(uint32(len(buckets))); err != nil {
+			return err
+		}
+		for key, items := range buckets {
+			if err := u64(key); err != nil {
+				return err
+			}
+			if err := u32(uint32(len(items))); err != nil {
+				return err
+			}
+			for _, it := range items {
+				if err := u32(it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes an index written by Write. It reads exactly the
+// index's bytes from r.
+func ReadIndex(r io.Reader) (*Index, error) {
+	rd := reader{r}
+	magic, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != magicIndex {
+		return nil, fmt.Errorf("lsh: bad Index magic %#x", magic)
+	}
+	bandSize, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	bands, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if bandSize == 0 || bands == 0 || bands > 1<<16 {
+		return nil, fmt.Errorf("lsh: implausible index shape bands=%d bandSize=%d", bands, bandSize)
+	}
+	ix := &Index{bandSize: int(bandSize), bands: int(bands), buckets: make([]map[uint64][]uint32, bands)}
+	for b := range ix.buckets {
+		n, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[uint64][]uint32, n)
+		for i := uint32(0); i < n; i++ {
+			key, err := rd.u64()
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			items := make([]uint32, cnt)
+			for j := range items {
+				if items[j], err = rd.u32(); err != nil {
+					return nil, err
+				}
+			}
+			m[key] = items
+		}
+		ix.buckets[b] = m
+	}
+	return ix, nil
+}

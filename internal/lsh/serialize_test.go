@@ -1,0 +1,110 @@
+package lsh
+
+import (
+	"bytes"
+	"testing"
+
+	"thetis/internal/embedding"
+)
+
+func TestMinHasherRoundTrip(t *testing.T) {
+	m := NewMinHasher(32, 7)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMinHasher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shingles := []uint64{1, 5, 99, 12345}
+	a, b := m.Signature(shingles), back.Signature(shingles)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signatures differ after round trip")
+		}
+	}
+}
+
+func TestHyperplaneRoundTrip(t *testing.T) {
+	h := NewHyperplaneHasher(16, 8, 3)
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHyperplaneHasher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := embedding.Vector{1, -2, 3, -4, 5, -6, 7, -8}
+	a, b := h.Signature(v), back.Signature(v)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signatures differ after round trip")
+		}
+	}
+	if back.Dim() != 8 || back.Projections() != 16 {
+		t.Errorf("shape after round trip: dim=%d proj=%d", back.Dim(), back.Projections())
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	m := NewMinHasher(32, 1)
+	ix := NewIndex(32, 8)
+	sigA := m.Signature([]uint64{1, 2, 3})
+	sigB := m.Signature([]uint64{500, 600})
+	ix.Insert(10, sigA)
+	ix.Insert(20, sigB)
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bands() != ix.Bands() || back.NumBuckets() != ix.NumBuckets() {
+		t.Fatalf("shape after round trip: bands=%d buckets=%d", back.Bands(), back.NumBuckets())
+	}
+	got := back.QuerySet(sigA)
+	if !got[10] || got[20] {
+		t.Errorf("query after round trip = %v", got)
+	}
+}
+
+func TestSharedStreamRoundTrip(t *testing.T) {
+	// Multiple components serialized back to back into one stream must
+	// deserialize cleanly in sequence (no over-reading).
+	m := NewMinHasher(16, 2)
+	ix := NewIndex(16, 8)
+	ix.Insert(1, m.Signature([]uint64{42}))
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMinHasher(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(&buf); err != nil {
+		t.Fatalf("second component corrupted by first read: %v", err)
+	}
+}
+
+func TestReadersBadMagic(t *testing.T) {
+	junk := bytes.Repeat([]byte{9}, 64)
+	if _, err := ReadMinHasher(bytes.NewReader(junk)); err == nil {
+		t.Error("MinHasher bad magic accepted")
+	}
+	if _, err := ReadHyperplaneHasher(bytes.NewReader(junk)); err == nil {
+		t.Error("HyperplaneHasher bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(junk)); err == nil {
+		t.Error("Index bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Error("empty index stream accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package lsh
+
+import "sort"
+
+// TypePairShingles converts a set of type indices into the shingle set the
+// paper feeds MinHash: one shingle per unordered pair of types (i ≤ j),
+// mimicking "a pair of types with indices 24 and 48 have index 2448 in the
+// bit vector". Including the diagonal (i,i) keeps single-type entities
+// hashable. The input need not be sorted or deduplicated.
+func TypePairShingles(types []uint32) []uint64 {
+	if len(types) == 0 {
+		return nil
+	}
+	sorted := append([]uint32(nil), types...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	// Deduplicate.
+	n := 0
+	for i, t := range sorted {
+		if i == 0 || t != sorted[n-1] {
+			sorted[n] = t
+			n++
+		}
+	}
+	sorted = sorted[:n]
+	out := make([]uint64, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			out = append(out, uint64(sorted[i])<<32|uint64(sorted[j]))
+		}
+	}
+	return out
+}
+
+// JaccardEstimate estimates the Jaccard similarity of two sets from their
+// MinHash signatures: the fraction of agreeing positions. Exposed for
+// testing and for tuning LSH configurations.
+func JaccardEstimate(a, b []uint32) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a))
+}

@@ -1,0 +1,190 @@
+// Package metrics implements the retrieval-quality measures used in the
+// paper's evaluation: graded NDCG@k, recall against top-k ground truth, and
+// the distribution summaries (mean, median, quartiles) behind the box plots
+// of Figures 4 and 5.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// NDCG computes the Normalized Discounted Cumulative Gain at cutoff k.
+//
+// ranked is the system's result list (best first); relevance maps item IDs
+// to graded gains (absent = 0). The ideal ordering is derived from the
+// relevance map itself. NDCG is 0 when the ground truth has no relevant
+// items or when k <= 0.
+func NDCG(ranked []int, relevance map[int]float64, k int) float64 {
+	if k <= 0 || len(relevance) == 0 {
+		return 0
+	}
+	dcg := 0.0
+	seen := make(map[int]bool, k)
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		if seen[id] {
+			continue // a duplicate entry cannot earn gain twice
+		}
+		seen[id] = true
+		if rel := relevance[id]; rel > 0 {
+			dcg += (math.Pow(2, rel) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	idcg := idealDCG(relevance, k)
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+func idealDCG(relevance map[int]float64, k int) float64 {
+	gains := make([]float64, 0, len(relevance))
+	for _, rel := range relevance {
+		if rel > 0 {
+			gains = append(gains, rel)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(gains)))
+	idcg := 0.0
+	for i, rel := range gains {
+		if i >= k {
+			break
+		}
+		idcg += (math.Pow(2, rel) - 1) / math.Log2(float64(i)+2)
+	}
+	return idcg
+}
+
+// RecallAtK computes recall of the first k ranked results against the
+// ground-truth set of relevant items. When the ground truth is larger than
+// k, the denominator is capped at k (retrieving k relevant items out of k
+// slots is perfect recall), matching the paper's protocol of evaluating
+// retrieved tables against the top-k ground-truth relevant tables.
+func RecallAtK(ranked []int, relevant map[int]bool, k int) float64 {
+	if k <= 0 || len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	seen := make(map[int]bool, k)
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if relevant[id] {
+			hits++
+		}
+	}
+	denom := len(relevant)
+	if denom > k {
+		denom = k
+	}
+	return float64(hits) / float64(denom)
+}
+
+// PrecisionAtK computes precision of the first k ranked results.
+func PrecisionAtK(ranked []int, relevant map[int]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits, returned := 0, 0
+	counted := make(map[int]bool, k)
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		returned++
+		if counted[id] {
+			continue
+		}
+		counted[id] = true
+		if relevant[id] {
+			hits++
+		}
+	}
+	if returned == 0 {
+		return 0
+	}
+	return float64(hits) / float64(returned)
+}
+
+// TopKByScore turns a score map into a ranked ID list (descending score,
+// ascending ID on ties) truncated to k entries. Items with score <= 0 are
+// excluded, matching Problem 2.2's requirement SemRel(Q,T) > 0. Pass k < 0
+// for an unbounded list.
+func TopKByScore(scores map[int]float64, k int) []int {
+	ids := make([]int, 0, len(scores))
+	for id, s := range scores {
+		if s > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := scores[ids[a]], scores[ids[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	if k >= 0 && len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// Summary is a five-number-plus-mean distribution summary, the data behind
+// one box in the paper's box plots.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes the summary of a sample. An empty sample yields the
+// zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// quantile interpolates linearly on a sorted sample (type-7 estimator, the
+// default of R and NumPy).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

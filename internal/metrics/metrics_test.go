@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	rel := map[int]float64{1: 3, 2: 2, 3: 1}
+	ranked := []int{1, 2, 3}
+	if got := NDCG(ranked, rel, 3); !almostEqual(got, 1) {
+		t.Errorf("perfect ranking NDCG = %v, want 1", got)
+	}
+}
+
+func TestNDCGWorstOrderStillPositive(t *testing.T) {
+	rel := map[int]float64{1: 3, 2: 2, 3: 1}
+	got := NDCG([]int{3, 2, 1}, rel, 3)
+	if got <= 0 || got >= 1 {
+		t.Errorf("reversed ranking NDCG = %v, want in (0,1)", got)
+	}
+}
+
+func TestNDCGIrrelevantResults(t *testing.T) {
+	rel := map[int]float64{1: 3}
+	if got := NDCG([]int{7, 8, 9}, rel, 3); got != 0 {
+		t.Errorf("all-irrelevant NDCG = %v, want 0", got)
+	}
+}
+
+func TestNDCGEmptyGroundTruth(t *testing.T) {
+	if got := NDCG([]int{1, 2}, nil, 10); got != 0 {
+		t.Errorf("NDCG with no ground truth = %v, want 0", got)
+	}
+}
+
+func TestNDCGCutoff(t *testing.T) {
+	rel := map[int]float64{1: 1, 2: 1}
+	// Item beyond the cutoff contributes nothing.
+	a := NDCG([]int{1, 9, 2}, rel, 2)
+	b := NDCG([]int{1, 9, 9}, rel, 2)
+	if !almostEqual(a, b) {
+		t.Errorf("item at rank 3 leaked into NDCG@2: %v vs %v", a, b)
+	}
+	if got := NDCG([]int{1}, rel, 0); got != 0 {
+		t.Errorf("NDCG@0 = %v", got)
+	}
+}
+
+func TestNDCGGradedOrderMatters(t *testing.T) {
+	rel := map[int]float64{1: 3, 2: 1}
+	good := NDCG([]int{1, 2}, rel, 2)
+	bad := NDCG([]int{2, 1}, rel, 2)
+	if good <= bad {
+		t.Errorf("graded NDCG not sensitive to order: good=%v bad=%v", good, bad)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	relevant := map[int]bool{1: true, 2: true, 3: true, 4: true}
+	ranked := []int{1, 9, 2, 8, 3}
+	if got := RecallAtK(ranked, relevant, 5); !almostEqual(got, 0.75) {
+		t.Errorf("recall@5 = %v, want 0.75", got)
+	}
+	// Denominator capped at k.
+	if got := RecallAtK([]int{1, 2}, relevant, 2); !almostEqual(got, 1) {
+		t.Errorf("recall@2 with 4 relevant = %v, want 1 (capped denominator)", got)
+	}
+	if got := RecallAtK(ranked, nil, 5); got != 0 {
+		t.Errorf("recall with no relevant = %v", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	relevant := map[int]bool{1: true, 2: true}
+	if got := PrecisionAtK([]int{1, 9, 2, 8}, relevant, 4); !almostEqual(got, 0.5) {
+		t.Errorf("precision@4 = %v, want 0.5", got)
+	}
+	// Short result lists divide by what was actually returned.
+	if got := PrecisionAtK([]int{1}, relevant, 10); !almostEqual(got, 1) {
+		t.Errorf("precision of short list = %v, want 1", got)
+	}
+	if got := PrecisionAtK(nil, relevant, 10); got != 0 {
+		t.Errorf("precision of empty list = %v, want 0", got)
+	}
+}
+
+func TestTopKByScore(t *testing.T) {
+	scores := map[int]float64{1: 0.5, 2: 0.9, 3: 0.0, 4: -0.2, 5: 0.9}
+	got := TopKByScore(scores, 10)
+	// 3 (zero) and 4 (negative) excluded; ties broken by ID.
+	want := []int{2, 5, 1}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if got := TopKByScore(scores, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("TopK(1) = %v", got)
+	}
+	if got := TopKByScore(scores, -1); len(got) != 3 {
+		t.Errorf("TopK(-1) should be unbounded, got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEqual(s.Median, 2.5) {
+		t.Errorf("median = %v, want 2.5", s.Median)
+	}
+	if !almostEqual(s.Mean, 2.5) {
+		t.Errorf("mean = %v, want 2.5", s.Mean)
+	}
+	if !almostEqual(s.Q1, 1.75) || !almostEqual(s.Q3, 3.25) {
+		t.Errorf("quartiles = %v, %v, want 1.75, 3.25", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+// Property: NDCG is always within [0, 1].
+func TestNDCGRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := map[int]float64{}
+		for i := 0; i < rng.Intn(20); i++ {
+			rel[rng.Intn(30)] = float64(rng.Intn(4))
+		}
+		ranked := make([]int, rng.Intn(25))
+		for i := range ranked {
+			ranked[i] = rng.Intn(30)
+		}
+		got := NDCG(ranked, rel, 1+rng.Intn(20))
+		return got >= 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recall and precision are within [0, 1] and recall@k is
+// monotonically non-decreasing in k.
+func TestRecallMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		relevant := map[int]bool{}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			relevant[rng.Intn(20)] = true
+		}
+		ranked := rng.Perm(20)
+		prev := 0.0
+		for k := 1; k <= 20; k++ {
+			r := RecallAtK(ranked, relevant, k)
+			if r < 0 || r > 1+1e-9 {
+				return false
+			}
+			// The capped denominator can only shrink relative recall when k
+			// grows past the relevant-set size; allow tiny dips from cap
+			// changes only while k <= |relevant|.
+			if k > len(relevant) && r < prev-1e-9 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package server exposes a configured Thetis system over HTTP with a small
+// JSON API, turning the library into the data-discovery service the paper's
+// system (and any production deployment) ultimately is:
+//
+//	GET  /healthz           liveness probe
+//	GET  /stats             corpus and KG statistics
+//	GET  /tables/{id}       one table (name, attributes, rows, categories)
+//	POST /search            semantic search  {"query": "...", "k": 10}
+//	POST /keyword           BM25 keyword search {"q": "...", "k": 10}
+//	POST /hybrid            BM25-complemented semantic search
+//
+// Queries use the textual format of System.ParseQuery: entities separated
+// by "|", tuples by newlines (or ";").
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"thetis"
+)
+
+// Server is an http.Handler serving one Thetis system. The underlying
+// System must be fully configured (similarity selected; keyword index built
+// when the keyword/hybrid endpoints are used) and must not be mutated while
+// serving.
+type Server struct {
+	sys *thetis.System
+	mux *http.ServeMux
+}
+
+// New wraps a configured system.
+func New(sys *thetis.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /tables/{id}", s.handleTable)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /keyword", s.handleKeyword)
+	s.mux.HandleFunc("POST /hybrid", s.handleHybrid)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SearchRequest is the body of POST /search and /hybrid.
+type SearchRequest struct {
+	// Query holds entity tuples: entities separated by "|", tuples by
+	// newline or ";".
+	Query string `json:"query"`
+	// K is the number of results (default 10).
+	K int `json:"k,omitempty"`
+	// Keywords overrides the BM25 keywords for /hybrid (default: the query
+	// text with separators stripped).
+	Keywords string `json:"keywords,omitempty"`
+}
+
+// SearchResult is one result row.
+type SearchResult struct {
+	Table int     `json:"table"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score,omitempty"`
+}
+
+// SearchResponse is the body returned by the search endpoints.
+type SearchResponse struct {
+	Results []SearchResult `json:"results"`
+	// Candidates and ScoredTables report search effort (semantic only).
+	Candidates int `json:"candidates,omitempty"`
+	// TookMicros is the server-side search duration.
+	TookMicros int64 `json:"took_us"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sys.Stats()
+	g := s.sys.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tables":        st.Tables,
+		"mean_rows":     st.MeanRows,
+		"mean_columns":  st.MeanColumns,
+		"mean_coverage": st.MeanCoverage,
+		"entities":      g.NumEntities(),
+		"types":         g.NumTypes(),
+		"predicates":    g.NumPredicates(),
+		"edges":         g.NumEdges(),
+	})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.sys.NumTables() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", r.PathValue("id")))
+		return
+	}
+	t := s.sys.Table(thetis.TableID(id))
+	rows := make([][]string, t.NumRows())
+	for i, row := range t.Rows {
+		cells := make([]string, len(row))
+		for j, c := range row {
+			cells[j] = c.Value
+		}
+		rows[i] = cells
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         id,
+		"name":       t.Name,
+		"attributes": t.Attributes,
+		"rows":       rows,
+		"categories": t.Categories,
+		"coverage":   t.LinkCoverage(),
+	})
+}
+
+// parseRequest decodes and validates a search request body.
+func parseRequest(r *http.Request) (SearchRequest, error) {
+	var req SearchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("bad request body: %w", err)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, errors.New("query must not be empty")
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > 1000 {
+		req.K = 1000
+	}
+	return req, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := s.sys.ParseQuery(strings.ReplaceAll(req.Query, ";", "\n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, stats := s.sys.SearchStats(q, req.K)
+	resp := SearchResponse{
+		Results:    make([]SearchResult, len(results)),
+		Candidates: stats.Candidates,
+		TookMicros: stats.TotalTime.Microseconds(),
+	}
+	for i, res := range results {
+		resp.Results[i] = SearchResult{
+			Table: int(res.Table),
+			Name:  s.sys.Table(res.Table).Name,
+			Score: res.Score,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Q string `json:"q"`
+		K int    `json:"k,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Q) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("body must be {\"q\": \"keywords\"}"))
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	ids := s.sys.KeywordSearch(req.Q, req.K)
+	resp := SearchResponse{Results: make([]SearchResult, len(ids))}
+	for i, id := range ids {
+		resp.Results[i] = SearchResult{Table: int(id), Name: s.sys.Table(id).Name}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHybrid(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := s.sys.ParseQuery(strings.ReplaceAll(req.Query, ";", "\n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	keywords := req.Keywords
+	if keywords == "" {
+		keywords = strings.NewReplacer("|", " ", ";", " ", "\n", " ").Replace(req.Query)
+	}
+	ids := s.sys.HybridSearch(q, keywords, req.K)
+	resp := SearchResponse{Results: make([]SearchResult, len(ids))}
+	for i, id := range ids {
+		resp.Results[i] = SearchResult{Table: int(id), Name: s.sys.Table(id).Name}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thetis"
+)
+
+func demoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := thetis.NewGraph()
+	triples := `
+<onto/BaseballPlayer> <rdfs:subClassOf> <onto/Athlete> .
+<onto/BaseballTeam>   <rdfs:subClassOf> <onto/Organisation> .
+<res/santo> <rdf:type> <onto/BaseballPlayer> .
+<res/santo> <rdfs:label> "Ron Santo" .
+<res/banks> <rdf:type> <onto/BaseballPlayer> .
+<res/banks> <rdfs:label> "Ernie Banks" .
+<res/cubs>  <rdf:type> <onto/BaseballTeam> .
+<res/cubs>  <rdfs:label> "Chicago Cubs" .
+`
+	if err := thetis.LoadTriples(g, strings.NewReader(triples)); err != nil {
+		t.Fatal(err)
+	}
+	sys := thetis.New(g)
+	linker := thetis.NewDictionaryLinker(g)
+	roster := thetis.NewTable("roster", []string{"Player", "Team"})
+	roster.AppendValues("Ron Santo", "Chicago Cubs")
+	thetis.LinkTable(roster, linker)
+	sys.AddTable(roster)
+	other := thetis.NewTable("profiles", []string{"Player"})
+	other.AppendValues("Ernie Banks")
+	thetis.LinkTable(other, linker)
+	sys.AddTable(other)
+	sys.UseTypeSimilarity()
+	sys.BuildKeywordIndex()
+
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s status = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s status = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := demoServer(t)
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Errorf("healthz = %v", out)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if out["tables"].(float64) != 2 {
+		t.Errorf("stats = %v", out)
+	}
+	if out["entities"].(float64) < 3 {
+		t.Errorf("entities = %v", out["entities"])
+	}
+}
+
+func TestTableEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := getJSON(t, ts.URL+"/tables/0", http.StatusOK)
+	if out["name"] != "roster" {
+		t.Errorf("table 0 = %v", out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+	getJSON(t, ts.URL+"/tables/99", http.StatusNotFound)
+	getJSON(t, ts.URL+"/tables/abc", http.StatusNotFound)
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := postJSON(t, ts.URL+"/search", `{"query": "Ron Santo | Chicago Cubs", "k": 5}`, http.StatusOK)
+	results := out["results"].([]any)
+	if len(results) == 0 {
+		t.Fatalf("no results: %v", out)
+	}
+	first := results[0].(map[string]any)
+	if first["name"] != "roster" || first["score"].(float64) != 1 {
+		t.Errorf("first result = %v", first)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	ts := demoServer(t)
+	postJSON(t, ts.URL+"/search", `{"k": 5}`, http.StatusBadRequest)                    // empty query
+	postJSON(t, ts.URL+"/search", `{"query": "Unknown Person"}`, http.StatusBadRequest) // unresolvable
+	postJSON(t, ts.URL+"/search", `{"query": "x", "bogus": 1}`, http.StatusBadRequest)  // unknown field
+	postJSON(t, ts.URL+"/search", `not json`, http.StatusBadRequest)                    // malformed
+}
+
+func TestKeywordEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := postJSON(t, ts.URL+"/keyword", `{"q": "ernie banks"}`, http.StatusOK)
+	results := out["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no keyword results")
+	}
+	if results[0].(map[string]any)["name"] != "profiles" {
+		t.Errorf("keyword top = %v", results[0])
+	}
+	postJSON(t, ts.URL+"/keyword", `{}`, http.StatusBadRequest)
+}
+
+func TestHybridEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := postJSON(t, ts.URL+"/hybrid", `{"query": "Ron Santo | Chicago Cubs", "k": 4}`, http.StatusOK)
+	results := out["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no hybrid results")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := demoServer(t)
+	resp, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,138 @@
+package table
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"thetis/internal/kg"
+)
+
+// ReadCSV parses a CSV stream into a Table. The first record is taken as
+// the header row; cells start unlinked. Ragged rows are an error.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0 // enforce rectangular shape
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table %q: empty file", name)
+	}
+	t := New(name, records[0])
+	for _, rec := range records[1:] {
+		t.AppendValues(rec...)
+	}
+	return t, nil
+}
+
+// WriteCSV serializes the raw values of t (header row first). Entity
+// annotations are not written; use the JSON codec to preserve them.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Attributes); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumColumns())
+	for _, row := range t.Rows {
+		for i, c := range row {
+			rec[i] = c.Value
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTable is the annotated interchange format: values plus entity URIs,
+// mirroring the WikiTables benchmark files that carry per-cell DBpedia
+// links.
+type jsonTable struct {
+	Name       string       `json:"name"`
+	Attributes []string     `json:"attributes"`
+	Categories []string     `json:"categories,omitempty"`
+	Rows       [][]jsonCell `json:"rows"`
+}
+
+type jsonCell struct {
+	Value  string `json:"v"`
+	Entity string `json:"e,omitempty"`
+}
+
+// WriteJSON serializes t including entity links, resolving entity IDs to
+// URIs through g.
+func WriteJSON(t *Table, g *kg.Graph, w io.Writer) error {
+	jt := jsonTable{
+		Name:       t.Name,
+		Attributes: t.Attributes,
+		Categories: t.Categories,
+		Rows:       make([][]jsonCell, len(t.Rows)),
+	}
+	for i, row := range t.Rows {
+		jr := make([]jsonCell, len(row))
+		for j, c := range row {
+			jr[j].Value = c.Value
+			if e, ok := c.EntityID(); ok {
+				jr[j].Entity = g.URI(e)
+			}
+		}
+		jt.Rows[i] = jr
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses the annotated format, interning any entity URIs into g.
+// For streams holding multiple concatenated tables (JSONL corpora), use
+// JSONReader instead: ReadJSON's decoder buffers ahead and discards
+// whatever follows the first object.
+func ReadJSON(g *kg.Graph, r io.Reader) (*Table, error) {
+	return decodeTable(g, json.NewDecoder(r))
+}
+
+// JSONReader streams tables out of a concatenated JSON (JSONL) corpus.
+type JSONReader struct {
+	g   *kg.Graph
+	dec *json.Decoder
+}
+
+// NewJSONReader creates a streaming reader over r, interning entities
+// into g.
+func NewJSONReader(g *kg.Graph, r io.Reader) *JSONReader {
+	return &JSONReader{g: g, dec: json.NewDecoder(r)}
+}
+
+// Next returns the next table, or io.EOF when the stream ends.
+func (jr *JSONReader) Next() (*Table, error) {
+	if !jr.dec.More() {
+		return nil, io.EOF
+	}
+	return decodeTable(jr.g, jr.dec)
+}
+
+func decodeTable(g *kg.Graph, dec *json.Decoder) (*Table, error) {
+	var jt jsonTable
+	if err := dec.Decode(&jt); err != nil {
+		return nil, err
+	}
+	t := New(jt.Name, jt.Attributes)
+	t.Categories = jt.Categories
+	for i, jr := range jt.Rows {
+		if len(jr) != len(jt.Attributes) {
+			return nil, fmt.Errorf("table %q: row %d arity %d != schema arity %d", jt.Name, i, len(jr), len(jt.Attributes))
+		}
+		cells := make([]Cell, len(jr))
+		for j, jc := range jr {
+			cells[j] = Cell{Value: jc.Value}
+			if jc.Entity != "" {
+				cells[j].Entity = Ref(g.AddEntity(jc.Entity, ""))
+			}
+		}
+		t.AppendRow(cells)
+	}
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+// FuzzReadCSV: the CSV reader must never panic; successful parses must
+// yield rectangular tables.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("a,b\n1\n")
+	f.Add("")
+	f.Add("\"quoted,comma\",b\nx,y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tbl, err := ReadCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != tbl.NumColumns() {
+				t.Fatalf("row %d arity %d != %d", i, len(row), tbl.NumColumns())
+			}
+		}
+	})
+}
+
+// FuzzReadJSON: the JSON codec must never panic; accepted tables must be
+// rectangular with valid entity references.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"t","attributes":["a"],"rows":[[{"v":"x","e":"uri"}]]}`)
+	f.Add(`{"name":"t","attributes":[],"rows":[]}`)
+	f.Add(`{"rows":[[{"v":"x"}],[{"v":"y"}]]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g := kg.NewGraph()
+		tbl, err := ReadJSON(g, strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != tbl.NumColumns() {
+				t.Fatal("accepted ragged table")
+			}
+			for _, c := range row {
+				if e, ok := c.EntityID(); ok && int(e) >= g.NumEntities() {
+					t.Fatalf("dangling entity reference %d", e)
+				}
+			}
+		}
+	})
+}

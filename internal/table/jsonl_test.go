@@ -1,0 +1,54 @@
+package table
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+func TestJSONReaderStreamsMultipleTables(t *testing.T) {
+	g := kg.NewGraph()
+	e := g.AddEntity("dbr:E", "E")
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		tb := New("t", []string{"a"})
+		tb.AppendRow([]Cell{LinkedCell("E", e)})
+		if err := WriteJSON(tb, g, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jr := NewJSONReader(kg.NewGraph(), &buf)
+	n := 0
+	for {
+		tb, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tb.Rows[0][0].Linked() {
+			t.Error("link lost in stream")
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d tables, want 3", n)
+	}
+}
+
+func TestJSONReaderEmptyStream(t *testing.T) {
+	jr := NewJSONReader(kg.NewGraph(), bytes.NewReader(nil))
+	if _, err := jr.Next(); err != io.EOF {
+		t.Errorf("empty stream Next = %v, want EOF", err)
+	}
+}
+
+func TestJSONReaderMalformed(t *testing.T) {
+	jr := NewJSONReader(kg.NewGraph(), bytes.NewReader([]byte("{not json")))
+	if _, err := jr.Next(); err == nil || err == io.EOF {
+		t.Errorf("malformed stream Next = %v, want parse error", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package table defines the data-lake table model: schemaless relational
+// files whose cells hold string/number values, some of which carry entity
+// annotations produced by an entity linker (the partial mapping Φ of
+// Definition 2.1 in the paper).
+package table
+
+import (
+	"fmt"
+
+	"thetis/internal/kg"
+)
+
+// EntityRef is a nullable reference to a KG entity. The zero value means
+// "no link", so that Cell's zero value is an unlinked cell; a non-zero value
+// holds the entity ID plus one.
+type EntityRef uint32
+
+// Ref wraps a KG entity ID into a non-null reference.
+func Ref(e kg.EntityID) EntityRef { return EntityRef(e) + 1 }
+
+// NoEntity is the null entity reference.
+const NoEntity = EntityRef(0)
+
+// Entity unwraps the reference, reporting false for the null reference.
+func (r EntityRef) Entity() (kg.EntityID, bool) {
+	if r == NoEntity {
+		return kg.InvalidEntity, false
+	}
+	return kg.EntityID(r - 1), true
+}
+
+// Cell is one attribute value of one tuple. Value holds the raw textual
+// content; Entity holds the linked KG entity reference, if any.
+type Cell struct {
+	Value  string
+	Entity EntityRef
+}
+
+// LinkedCell builds a cell annotated with entity e.
+func LinkedCell(value string, e kg.EntityID) Cell {
+	return Cell{Value: value, Entity: Ref(e)}
+}
+
+// Linked reports whether the cell carries an entity annotation.
+func (c Cell) Linked() bool { return c.Entity != NoEntity }
+
+// EntityID unwraps the cell's entity annotation.
+func (c Cell) EntityID() (kg.EntityID, bool) { return c.Entity.Entity() }
+
+// Table is one data lake file: an ordered set of attributes (columns) and
+// tuples (rows) sharing that schema. Tables are identified within a lake by
+// a dense integer ID assigned at ingestion.
+type Table struct {
+	// Name is the file or page name the table came from.
+	Name string
+	// Attributes are the column headers; may be empty strings for headerless
+	// files but the slice length always equals the column count.
+	Attributes []string
+	// Rows holds the tuples; every row has exactly len(Attributes) cells.
+	Rows [][]Cell
+	// Categories are topical annotations (e.g. Wikipedia categories) used
+	// only by benchmark ground truth, never by the search algorithms.
+	Categories []string
+}
+
+// New creates an empty table with the given column headers.
+func New(name string, attributes []string) *Table {
+	return &Table{Name: name, Attributes: attributes}
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumColumns returns the number of attributes.
+func (t *Table) NumColumns() int { return len(t.Attributes) }
+
+// AppendRow adds a tuple. It panics if the arity differs from the schema,
+// since that is a programming error in ingestion code.
+func (t *Table) AppendRow(cells []Cell) {
+	if len(cells) != len(t.Attributes) {
+		panic(fmt.Sprintf("table %q: row arity %d != schema arity %d", t.Name, len(cells), len(t.Attributes)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AppendValues adds a tuple of unlinked cells from raw strings.
+func (t *Table) AppendValues(values ...string) {
+	cells := make([]Cell, len(values))
+	for i, v := range values {
+		cells[i] = Cell{Value: v}
+	}
+	t.AppendRow(cells)
+}
+
+// Column returns the cells of column j in row order.
+func (t *Table) Column(j int) []Cell {
+	out := make([]Cell, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// ColumnEntities returns the distinct linked entities appearing in column j.
+func (t *Table) ColumnEntities(j int) []kg.EntityID {
+	seen := make(map[kg.EntityID]bool)
+	var out []kg.EntityID
+	for _, r := range t.Rows {
+		if e, ok := r[j].EntityID(); ok && !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Entities returns the distinct linked entities in the whole table.
+func (t *Table) Entities() []kg.EntityID {
+	seen := make(map[kg.EntityID]bool)
+	var out []kg.EntityID
+	for _, r := range t.Rows {
+		for _, c := range r {
+			if e, ok := c.EntityID(); ok && !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// LinkCoverage returns the fraction of cells linked to a KG entity, the
+// "Cov" statistic of Table 2 in the paper. An empty table has coverage 0.
+func (t *Table) LinkCoverage() float64 {
+	total, linked := 0, 0
+	for _, r := range t.Rows {
+		for _, c := range r {
+			total++
+			if c.Linked() {
+				linked++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(linked) / float64(total)
+}
+
+// ClearLinks removes every entity annotation, leaving raw values intact.
+// Used by experiments that re-link a corpus with a different linker.
+func (t *Table) ClearLinks() {
+	for _, r := range t.Rows {
+		for i := range r {
+			r[i].Entity = NoEntity
+		}
+	}
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Name:       t.Name,
+		Attributes: append([]string(nil), t.Attributes...),
+		Categories: append([]string(nil), t.Categories...),
+		Rows:       make([][]Cell, len(t.Rows)),
+	}
+	for i, r := range t.Rows {
+		c.Rows[i] = append([]Cell(nil), r...)
+	}
+	return c
+}

@@ -1,0 +1,164 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+func sampleTable(g *kg.Graph) *Table {
+	santo := g.AddEntity("dbr:Ron_Santo", "Ron Santo")
+	cubs := g.AddEntity("dbr:Chicago_Cubs", "Chicago Cubs")
+	t := New("players.csv", []string{"Player", "Team", "Avg"})
+	t.AppendRow([]Cell{
+		LinkedCell("Ron Santo", santo),
+		LinkedCell("Chicago Cubs", cubs),
+		{Value: ".277"},
+	})
+	t.AppendRow([]Cell{
+		{Value: "Unknown Guy"},
+		LinkedCell("Chicago Cubs", cubs),
+		{Value: ".100"},
+	})
+	return t
+}
+
+func TestTableShape(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	if tbl.NumRows() != 2 || tbl.NumColumns() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", tbl.NumRows(), tbl.NumColumns())
+	}
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendRow with wrong arity did not panic")
+		}
+	}()
+	tbl := New("t", []string{"a", "b"})
+	tbl.AppendRow([]Cell{{Value: "only one"}})
+}
+
+func TestLinkCoverage(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	got := tbl.LinkCoverage()
+	want := 3.0 / 6.0
+	if got != want {
+		t.Errorf("LinkCoverage = %v, want %v", got, want)
+	}
+	empty := New("e", []string{"a"})
+	if empty.LinkCoverage() != 0 {
+		t.Error("empty table coverage should be 0")
+	}
+}
+
+func TestEntitiesDistinct(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	ents := tbl.Entities()
+	if len(ents) != 2 {
+		t.Errorf("Entities = %v, want 2 distinct", ents)
+	}
+	col := tbl.ColumnEntities(1)
+	if len(col) != 1 {
+		t.Errorf("ColumnEntities(1) = %v, want 1 distinct", col)
+	}
+	if len(tbl.ColumnEntities(2)) != 0 {
+		t.Error("numeric column should have no entities")
+	}
+}
+
+func TestClearLinks(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	tbl.ClearLinks()
+	if tbl.LinkCoverage() != 0 {
+		t.Error("ClearLinks left annotations behind")
+	}
+	if tbl.Rows[0][0].Value != "Ron Santo" {
+		t.Error("ClearLinks damaged raw values")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	c := tbl.Clone()
+	c.Rows[0][0].Value = "changed"
+	c.Attributes[0] = "changed"
+	if tbl.Rows[0][0].Value != "Ron Santo" || tbl.Attributes[0] != "Player" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	var buf bytes.Buffer
+	if err := WriteCSV(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("players.csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 || back.NumColumns() != 3 {
+		t.Fatalf("round trip shape = %dx%d", back.NumRows(), back.NumColumns())
+	}
+	if back.Rows[1][0].Value != "Unknown Guy" {
+		t.Errorf("cell = %q", back.Rows[1][0].Value)
+	}
+	if back.Rows[0][0].Linked() {
+		t.Error("CSV codec should not carry links")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("e", strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV("r", strings.NewReader("a,b\n1,2,3\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+func TestJSONRoundTripPreservesLinks(t *testing.T) {
+	g := kg.NewGraph()
+	tbl := sampleTable(g)
+	tbl.Categories = []string{"baseball"}
+	var buf bytes.Buffer
+	if err := WriteJSON(tbl, g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := kg.NewGraph()
+	back, err := ReadJSON(g2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := back.Rows[0][0].EntityID()
+	if !ok {
+		t.Fatal("entity link lost in JSON round trip")
+	}
+	if g2.URI(e) != "dbr:Ron_Santo" {
+		t.Errorf("linked URI = %q", g2.URI(e))
+	}
+	if back.Rows[1][0].Linked() {
+		t.Error("unlinked cell gained a link")
+	}
+	if len(back.Categories) != 1 || back.Categories[0] != "baseball" {
+		t.Errorf("categories = %v", back.Categories)
+	}
+}
+
+func TestReadJSONRaggedRow(t *testing.T) {
+	g := kg.NewGraph()
+	bad := `{"name":"t","attributes":["a","b"],"rows":[[{"v":"1"}]]}`
+	if _, err := ReadJSON(g, strings.NewReader(bad)); err == nil {
+		t.Error("ragged JSON row accepted")
+	}
+}
