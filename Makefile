@@ -1,0 +1,34 @@
+# Development targets. `make check` is the pre-commit gate: formatting,
+# vet, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build race
+
+# Paper-table benchmarks (bench_test.go); pass BENCH=<regex> to narrow.
+BENCH ?= .
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .

@@ -270,4 +270,7 @@ func runSearch(args []string) {
 		fmt.Printf("%2d. %-40s score=%.4f\n", i+1, sys.Table(r.Table).Name, r.Score)
 	}
 	fmt.Printf("(%d/%d tables scored in %v)\n", stats.Scored, stats.Candidates, elapsed.Round(time.Millisecond))
+	if stats.Trace != nil {
+		fmt.Printf("(%s)\n", stats.Trace)
+	}
 }

@@ -2,7 +2,13 @@
 // internal/server for the API).
 //
 //	thetisd -kg bench/kg.nt -corpus bench/corpus.jsonl -addr :8080 \
-//	        [-sim types|embeddings] [-embfile embeddings.bin] [-lsh] [-votes 3]
+//	        [-sim types|embeddings] [-embfile embeddings.bin] [-lsh] [-votes 3] \
+//	        [-pprof]
+//
+// Operational endpoints (docs/OBSERVABILITY.md): GET /metrics exposes
+// Prometheus-format counters and latency histograms, GET /debug/trace
+// returns a per-stage breakdown of one search, and -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 	embFile := flag.String("embfile", "", "embeddings file (for -sim embeddings)")
 	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering (30,10)")
 	votes := flag.Int("votes", 3, "LSH vote threshold")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	sys := load(*kgPath, *corpusPath)
@@ -62,8 +69,13 @@ func main() {
 	log.Println("building keyword index…")
 	sys.BuildKeywordIndex()
 
-	log.Printf("serving %d tables on %s", sys.NumTables(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+	var opts []server.Option
+	if *withPprof {
+		opts = append(opts, server.WithPprof())
+		log.Println("pprof enabled on /debug/pprof/")
+	}
+	log.Printf("serving %d tables on %s (metrics on /metrics)", sys.NumTables(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys, opts...)))
 }
 
 func load(kgPath, corpusPath string) *thetis.System {

@@ -1,5 +1,6 @@
 // Package baselines implements the comparison systems of the paper's
-// evaluation as simplified, from-scratch re-implementations: a TURL-style
+// evaluation (Sections 7.1–7.2) as simplified, from-scratch
+// re-implementations: a TURL-style
 // pooled table-embedding ranker, a Starmie/SANTOS-style union search, and a
 // D³L-style joinability search. Each preserves the behaviour the paper
 // measures: pooled representations wash out small tuple queries, and

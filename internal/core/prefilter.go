@@ -2,11 +2,22 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"thetis/internal/embedding"
 	"thetis/internal/kg"
 	"thetis/internal/lake"
 	"thetis/internal/lsh"
+	"thetis/internal/obs"
+)
+
+// Prefilter metrics (see docs/OBSERVABILITY.md), cached as package handles.
+var (
+	mPrefilterQueries = obs.PrefilterQueriesTotal()
+	mPrefilterProbes  = obs.PrefilterProbesTotal()
+	mPrefilterVotes   = obs.PrefilterVotesTotal()
+	mPrefilterCands   = obs.PrefilterCandidates()
+	mPrefilterRed     = obs.PrefilterReduction()
 )
 
 // LSEIConfig parameterizes a Locality-Sensitive Entity Index (Section 6).
@@ -255,45 +266,87 @@ func (x *LSEI) entitySignature(e kg.EntityID) []uint32 {
 	return x.hyper.Signature(v)
 }
 
+// probeTally accumulates the work of one Candidates call: per-stage wall
+// durations and the probe/vote counts that feed the trace and /metrics.
+type probeTally struct {
+	probeWall time.Duration
+	voteWall  time.Duration
+	probes    int // signatures probed against the index
+	votesCast int // table votes before thresholding
+}
+
+// probeVote probes the index with one signature, lets colliding entities
+// (or columns) vote for their tables, and merges vote-surviving tables into
+// out, splitting the spent time into the tally's probe and vote stages.
+func (x *LSEI) probeVote(sig []uint32, votes int, out map[lake.TableID]bool, tally *probeTally) {
+	probeStart := time.Now()
+	tally.probes++
+	bag := make(map[lake.TableID]int)
+	if x.columnMode {
+		for col := range x.index.QuerySet(sig) {
+			bag[x.colTable[col]]++
+		}
+	} else {
+		for item := range x.index.QuerySet(sig) {
+			for _, tid := range x.lake.TablesWith(kg.EntityID(item)) {
+				bag[tid]++
+			}
+		}
+	}
+	voteStart := time.Now()
+	tally.probeWall += voteStart.Sub(probeStart)
+	for tid, n := range bag {
+		tally.votesCast += n
+		if n >= votes {
+			out[tid] = true
+		}
+	}
+	tally.voteWall += time.Since(voteStart)
+}
+
+// finish sorts the candidate set, records the tally on the trace (probe and
+// vote stages) and the prefilter metrics, and returns the sorted IDs.
+func (x *LSEI) finish(out map[lake.TableID]bool, tally probeTally, tr *obs.Trace) []lake.TableID {
+	ids := make([]lake.TableID, 0, len(out))
+	for tid := range out {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	mPrefilterQueries.Inc()
+	mPrefilterProbes.Add(int64(tally.probes))
+	mPrefilterVotes.Add(int64(tally.votesCast))
+	mPrefilterCands.Observe(float64(len(ids)))
+	mPrefilterRed.Set(x.Reduction(ids))
+	tr.Add(obs.Stage{Name: "probe", Wall: tally.probeWall, Items: tally.probes})
+	tr.Add(obs.Stage{Name: "vote", Wall: tally.voteWall, Items: len(ids)})
+	return ids
+}
+
 // Candidates returns the prefiltered table set for a query: each query
 // entity probes the index, colliding entities (or columns) vote for their
 // tables, and tables reaching the vote threshold for at least one query
 // entity survive. votes <= 1 disables voting. The result is sorted by
 // table ID.
 func (x *LSEI) Candidates(q Query, votes int) []lake.TableID {
+	return x.CandidatesTraced(q, votes, nil)
+}
+
+// CandidatesTraced is Candidates recording the prefilter's probe and vote
+// stages onto tr (nil tr skips tracing; metrics are always updated).
+func (x *LSEI) CandidatesTraced(q Query, votes int, tr *obs.Trace) []lake.TableID {
 	if votes < 1 {
 		votes = 1
 	}
 	out := make(map[lake.TableID]bool)
+	var tally probeTally
 	for _, e := range q.DistinctEntities() {
 		sig := x.entitySignature(e)
 		if sig == nil {
 			continue
 		}
-		bag := make(map[lake.TableID]int)
-		if x.columnMode {
-			for col := range x.index.QuerySet(sig) {
-				bag[x.colTable[col]]++
-			}
-		} else {
-			for item := range x.index.QuerySet(sig) {
-				for _, tid := range x.lake.TablesWith(kg.EntityID(item)) {
-					bag[tid]++
-				}
-			}
-		}
-		for tid, n := range bag {
-			if n >= votes {
-				out[tid] = true
-			}
-		}
+		x.probeVote(sig, votes, out, &tally)
 	}
-	ids := make([]lake.TableID, 0, len(out))
-	for tid := range out {
-		ids = append(ids, tid)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return x.finish(out, tally, tr)
 }
 
 // CandidatesAggregated is Candidates with query-side column aggregation
@@ -312,6 +365,7 @@ func (x *LSEI) CandidatesAggregated(q Query, votes int) []lake.TableID {
 		}
 	}
 	out := make(map[lake.TableID]bool)
+	var tally probeTally
 	for col := 0; col < width; col++ {
 		var ents []kg.EntityID
 		for _, t := range q {
@@ -323,30 +377,9 @@ func (x *LSEI) CandidatesAggregated(q Query, votes int) []lake.TableID {
 		if sig == nil {
 			continue
 		}
-		bag := make(map[lake.TableID]int)
-		if x.columnMode {
-			for c := range x.index.QuerySet(sig) {
-				bag[x.colTable[c]]++
-			}
-		} else {
-			for item := range x.index.QuerySet(sig) {
-				for _, tid := range x.lake.TablesWith(kg.EntityID(item)) {
-					bag[tid]++
-				}
-			}
-		}
-		for tid, n := range bag {
-			if n >= votes {
-				out[tid] = true
-			}
-		}
+		x.probeVote(sig, votes, out, &tally)
 	}
-	ids := make([]lake.TableID, 0, len(out))
-	for tid := range out {
-		ids = append(ids, tid)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return x.finish(out, tally, nil)
 }
 
 // groupSignature computes one probe signature for a group of entities:

@@ -8,6 +8,18 @@ import (
 
 	"thetis/internal/kg"
 	"thetis/internal/lake"
+	"thetis/internal/obs"
+)
+
+// Search-pipeline metrics (see docs/OBSERVABILITY.md), cached as package
+// handles so the hot path pays one atomic update each.
+var (
+	mSearches     = obs.SearchesTotal()
+	mSearchSecs   = obs.SearchSeconds()
+	mStageMapping = obs.SearchStageSeconds("mapping")
+	mStageScore   = obs.SearchStageSeconds("score")
+	mStageRank    = obs.SearchStageSeconds("rank")
+	mCandidates   = obs.SearchCandidates()
 )
 
 func kgEntity(x uint32) kg.EntityID { return kg.EntityID(x) }
@@ -50,11 +62,21 @@ type Stats struct {
 	Candidates int
 	// Scored is the number of tables with SemRel > 0.
 	Scored int
-	// MappingTime is the cumulative time spent in the query-to-column
-	// assignment μ across all tables.
+	// MappingTime is CPU time spent in the query-to-column assignment μ,
+	// summed across all tables and all scoring workers. With
+	// Parallelism > 1 it can therefore exceed TotalTime; the wall-clock
+	// stage breakdown lives in Trace (the mapping stage carries this same
+	// value in its CPU field, inside the score stage's wall time).
 	MappingTime time.Duration
-	// TotalTime is the wall-clock duration of the search.
+	// TotalTime is the wall-clock duration of the engine search. It does
+	// not include LSEI prefiltering, which runs before the engine; the
+	// enclosing Trace's Total does.
 	TotalTime time.Duration
+	// Trace is the structured per-stage breakdown of this search
+	// (mapping → score → rank, with prefilter probe/vote stages prepended
+	// by System.SearchStats when an LSEI is active). Always non-nil on
+	// searches executed by Search/SearchCandidates.
+	Trace *obs.Trace
 }
 
 // Search scores every table of the lake against q and returns the top-k
@@ -68,15 +90,20 @@ func (eng *Engine) Search(q Query, k int) ([]Result, Stats) {
 // the whole lake), the entry point used after LSEI prefiltering.
 func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) ([]Result, Stats) {
 	start := time.Now()
+	tr := obs.NewTrace("search")
 	if candidates == nil {
 		candidates = make([]lake.TableID, eng.Lake.NumTables())
 		for i := range candidates {
 			candidates[i] = lake.TableID(i)
 		}
 	}
-	stats := Stats{Candidates: len(candidates)}
+	stats := Stats{Candidates: len(candidates), Trace: tr}
+	mSearches.Inc()
+	mCandidates.Observe(float64(len(candidates)))
 	if len(q) == 0 || len(candidates) == 0 {
 		stats.TotalTime = time.Since(start)
+		tr.Total = stats.TotalTime
+		mSearchSecs.Observe(stats.TotalTime.Seconds())
 		return nil, stats
 	}
 
@@ -94,6 +121,7 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 	}
 	parts := make([]partial, workers)
 	var wg sync.WaitGroup
+	scoreStart := time.Now()
 	chunk := (len(candidates) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -119,12 +147,18 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	scoreWall := time.Since(scoreStart)
 
 	var results []Result
 	for _, p := range parts {
 		results = append(results, p.results...)
 		stats.MappingTime += p.mapping
 	}
+	// The mapping stage runs inside the scoring workers, so its wall time
+	// is part of the score stage; it is reported as cross-worker CPU time.
+	tr.Add(obs.Stage{Name: "mapping", CPU: stats.MappingTime, Items: len(candidates)})
+	tr.Add(obs.Stage{Name: "score", Wall: scoreWall, Items: len(candidates)})
+	rank := tr.StartStage("rank")
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Score != results[j].Score {
 			return results[i].Score > results[j].Score
@@ -135,7 +169,14 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 	if k >= 0 && len(results) > k {
 		results = results[:k]
 	}
+	rank.SetItems(stats.Scored)
+	rankWall := rank.End()
 	stats.TotalTime = time.Since(start)
+	tr.Total = stats.TotalTime
+	mStageMapping.Observe(stats.MappingTime.Seconds())
+	mStageScore.Observe(scoreWall.Seconds())
+	mStageRank.Observe(rankWall.Seconds())
+	mSearchSecs.Observe(stats.TotalTime.Seconds())
 	return results, stats
 }
 

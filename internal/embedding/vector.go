@@ -1,5 +1,7 @@
 // Package embedding provides KG entity embeddings: the RDF2Vec substitute
-// of this reproduction. It generates random walks over the knowledge graph
+// of this reproduction, backing the embedding-based similarity function of
+// the paper's Section 4.1 and the hyperplane LSEI of Section 6.2. It
+// generates random walks over the knowledge graph
 // and trains a skip-gram model with negative sampling (word2vec) on the walk
 // corpus, yielding one dense vector per entity such that entities with
 // similar graph neighborhoods have similar vectors — the only property the

@@ -254,7 +254,11 @@ func RunScoring(env *Env) ScoringResult {
 				start := time.Now()
 				_, stats := eng.Search(bq.Query, 10)
 				total += time.Since(start)
-				mapping += stats.MappingTime
+				// With Parallelism = 1 the mapping stage's CPU time is
+				// wall time, so the fraction below is well-defined.
+				if st := stats.Trace.Stage("mapping"); st != nil {
+					mapping += st.CPU
+				}
 				tables += stats.Candidates
 			}
 			row := ScoringRow{Method: fmt.Sprintf("STS%v", kind), Tuples: tuples}

@@ -1,8 +1,8 @@
 // Package kg implements an in-memory labeled directed knowledge graph with a
 // type taxonomy, the substrate Thetis searches against. It plays the role of
-// the DBpedia snapshot used in the paper: entities carry human-readable
-// labels, sets of types at multiple granularities, and labeled relation
-// edges to other entities.
+// the DBpedia snapshot used in the paper (the knowledge graph of
+// Definition 2.1): entities carry human-readable labels, sets of types at
+// multiple granularities, and labeled relation edges to other entities.
 //
 // All identifiers are interned to dense integer IDs so that the hot paths in
 // similarity computation and LSH indexing operate on machine words; URI and

@@ -14,8 +14,17 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 
 	"thetis/internal/embedding"
+	"thetis/internal/obs"
+)
+
+// Band-probe metrics, cached once (see internal/obs): every index in the
+// process accumulates into the same counters.
+var (
+	mBandProbes   = obs.LSHBandProbesTotal()
+	mItemsScanned = obs.LSHItemsScannedTotal()
 )
 
 // MinHasher computes MinHash signatures of shingle sets using one universal
@@ -168,10 +177,15 @@ func (h *HyperplaneHasher) Signature(v embedding.Vector) []uint32 {
 
 // Index is a banded LSH bucket index over uint32 item IDs. Insert all items
 // first, then Query; the index is safe for concurrent queries afterwards.
+// Queries maintain cumulative probe counters (band-bucket lookups and items
+// scanned), readable via ProbeCounts and mirrored on /metrics.
 type Index struct {
 	bandSize int
 	bands    int
 	buckets  []map[uint64][]uint32 // one bucket map per band group
+
+	probes  atomic.Int64 // band-bucket lookups across all queries
+	scanned atomic.Int64 // items read out of colliding buckets
 }
 
 // NewIndex creates an index for signatures of length permutations, divided
@@ -224,6 +238,7 @@ func (ix *Index) Query(sig []uint32) []uint32 {
 		key := bandHash(sig, b, ix.bandSize)
 		out = append(out, ix.buckets[b][key]...)
 	}
+	ix.countProbe(len(out))
 	return out
 }
 
@@ -231,13 +246,31 @@ func (ix *Index) Query(sig []uint32) []uint32 {
 // signature.
 func (ix *Index) QuerySet(sig []uint32) map[uint32]bool {
 	set := make(map[uint32]bool)
+	scanned := 0
 	for b := 0; b < ix.bands; b++ {
 		key := bandHash(sig, b, ix.bandSize)
 		for _, it := range ix.buckets[b][key] {
 			set[it] = true
 		}
+		scanned += len(ix.buckets[b][key])
 	}
+	ix.countProbe(scanned)
 	return set
+}
+
+// countProbe records one signature probe (ix.bands band-bucket lookups)
+// that scanned the given number of bucket entries.
+func (ix *Index) countProbe(scanned int) {
+	ix.probes.Add(int64(ix.bands))
+	ix.scanned.Add(int64(scanned))
+	mBandProbes.Add(int64(ix.bands))
+	mItemsScanned.Add(int64(scanned))
+}
+
+// ProbeCounts returns this index's cumulative band-bucket lookups and
+// bucket entries scanned across all queries since construction.
+func (ix *Index) ProbeCounts() (probes, scanned int64) {
+	return ix.probes.Load(), ix.scanned.Load()
 }
 
 // NumBuckets returns the total number of non-empty buckets across bands.

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test", nil)
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	c.Add(-5)
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter went down: %d", got)
+	}
+}
+
+func TestCounterHandleIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "test", Labels{"x": "1"})
+	b := reg.Counter("dup_total", "test", Labels{"x": "1"})
+	if a != b {
+		t.Error("same name+labels must return the same handle")
+	}
+	other := reg.Counter("dup_total", "test", Labels{"x": "2"})
+	if a == other {
+		t.Error("different labels must return distinct handles")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "test", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic registering gauge under counter name")
+		}
+	}()
+	reg.Gauge("m", "test", nil)
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "test", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8*500*0.5 {
+		t.Errorf("gauge = %v, want %v", got, 8*500*0.5)
+	}
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge after Set = %v", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "test", []float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// le semantics: 0.5 and 1 land in bucket ≤1; 1.5 in ≤2; 3 in ≤4; 100 in +Inf.
+	cumulative, sum, count := h.snapshot()
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d (all: %v)", i, cumulative[i], w, cumulative)
+		}
+	}
+	if count != 5 || sum != 106 {
+		t.Errorf("count = %d sum = %v, want 5, 106", count, sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hc", "test", []float64{0.5}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Errorf("count = %d sum = %v, want 8000, 8000", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 samples uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-10) > 1e-9 {
+		t.Errorf("median = %v, want 10 (bucket boundary)", q)
+	}
+	// 0.75 quantile: rank 15, i.e. halfway through the (10,20] bucket.
+	if q := h.Quantile(0.75); math.Abs(q-15) > 1e-9 {
+		t.Errorf("p75 = %v, want 15", q)
+	}
+	if q := h.Quantile(0.25); math.Abs(q-5) > 1e-9 {
+		t.Errorf("p25 = %v, want 5", q)
+	}
+	// Out-of-range q clamps; empty histogram yields NaN.
+	if q := h.Quantile(2); math.Abs(q-20) > 1e-9 {
+		t.Errorf("clamped q=2 -> %v, want 20", q)
+	}
+	empty := newHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(50) // lands in +Inf
+	if q := h.Quantile(0.99); q != 2 {
+		t.Errorf("quantile from +Inf bucket = %v, want largest finite bound 2", q)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for factor <= 1")
+		}
+	}()
+	ExponentialBuckets(1, 1, 3)
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_requests_total", "Requests served.", Labels{"endpoint": "/search"}).Add(3)
+	reg.Gauge("app_ratio", "A ratio.", nil).Set(0.25)
+	h := reg.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.",
+		"# TYPE app_requests_total counter",
+		`app_requests_total{endpoint="/search"} 3`,
+		"# TYPE app_ratio gauge",
+		"app_ratio 0.25",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 5.5625",
+		"app_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "test", Labels{"q": "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", b.String())
+	}
+}

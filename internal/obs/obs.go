@@ -1,0 +1,19 @@
+// Package obs is the observability substrate of the search service:
+// counters, gauges, and fixed-bucket latency histograms behind an atomic,
+// allocation-light registry with Prometheus text exposition, plus a
+// per-query stage tracer (Trace) that the search pipeline threads through
+// prefiltering, column mapping, scoring, and ranking.
+//
+// The paper's runtime evaluation (Section 7.3) dissects a search into
+// exactly these stages — LSEI prefiltering cost, query-to-column mapping
+// cost, scoring cost — and this package makes that same breakdown available
+// live, per query (GET /debug/trace) and aggregated (GET /metrics), instead
+// of only through offline benchmark reruns.
+//
+// Hot-path discipline: instrumented code caches metric handles (package
+// vars or struct fields) once and pays a single atomic operation per
+// update. Registry lookups (Registry.Counter and friends) take a mutex and
+// build a key string, so they belong in init paths, never inner loops.
+// Every metric this repository records is documented in
+// docs/OBSERVABILITY.md.
+package obs

@@ -1,0 +1,107 @@
+package obs
+
+// Standard metric definitions for the Thetis search service. Centralizing
+// names, help strings, and bucket layouts here keeps /metrics consistent
+// with docs/OBSERVABILITY.md; instrumented packages call these once (at
+// init or construction) and cache the returned handles.
+
+// SearchesTotal counts completed engine searches.
+func SearchesTotal() *Counter {
+	return Default.Counter("thetis_search_total",
+		"Completed semantic searches (Engine.Search/SearchCandidates).", nil)
+}
+
+// SearchSeconds observes end-to-end engine search latency.
+func SearchSeconds() *Histogram {
+	return Default.Histogram("thetis_search_seconds",
+		"End-to-end semantic search wall time in seconds.", LatencyBuckets, nil)
+}
+
+// SearchStageSeconds observes per-stage search durations. Stage names
+// follow the pipeline: probe, vote, mapping, score, rank. For "mapping" the
+// observed value is CPU time summed across scoring workers.
+func SearchStageSeconds(stage string) *Histogram {
+	return Default.Histogram("thetis_search_stage_seconds",
+		"Per-stage search duration in seconds (mapping = cross-worker CPU time).",
+		LatencyBuckets, Labels{"stage": stage})
+}
+
+// SearchCandidates observes candidate-set sizes entering the scorer.
+func SearchCandidates() *Histogram {
+	return Default.Histogram("thetis_search_candidates",
+		"Tables scored per search, after any prefiltering.", CountBuckets, nil)
+}
+
+// PrefilterQueriesTotal counts LSEI candidate-set computations.
+func PrefilterQueriesTotal() *Counter {
+	return Default.Counter("thetis_prefilter_queries_total",
+		"LSEI prefilter candidate-set computations.", nil)
+}
+
+// PrefilterProbesTotal counts LSH index probes issued by the prefilter
+// (one per query entity or aggregated query column with a signature).
+func PrefilterProbesTotal() *Counter {
+	return Default.Counter("thetis_prefilter_probes_total",
+		"LSH probes issued by the LSEI prefilter.", nil)
+}
+
+// PrefilterVotesTotal counts table votes cast by colliding entities or
+// columns before thresholding (Section 6's voting optimization).
+func PrefilterVotesTotal() *Counter {
+	return Default.Counter("thetis_prefilter_votes_total",
+		"Table votes cast by LSH collisions before vote thresholding.", nil)
+}
+
+// PrefilterCandidates observes prefiltered candidate-set sizes.
+func PrefilterCandidates() *Histogram {
+	return Default.Histogram("thetis_prefilter_candidates",
+		"Candidate tables surviving the LSEI vote threshold, per query.",
+		CountBuckets, nil)
+}
+
+// PrefilterReduction tracks the latest search-space reduction ratio
+// (1 - candidates/corpus, the metric of the paper's Table 4).
+func PrefilterReduction() *Gauge {
+	return Default.Gauge("thetis_prefilter_reduction_ratio",
+		"Search-space reduction of the most recent prefiltered query (1 - candidates/corpus).", nil)
+}
+
+// LSHBandProbesTotal counts band-bucket lookups inside the LSH index.
+func LSHBandProbesTotal() *Counter {
+	return Default.Counter("thetis_lsh_band_probes_total",
+		"Band-bucket lookups performed by LSH index queries.", nil)
+}
+
+// LSHItemsScannedTotal counts items read out of colliding LSH buckets.
+func LSHItemsScannedTotal() *Counter {
+	return Default.Counter("thetis_lsh_items_scanned_total",
+		"Items scanned from colliding buckets during LSH index queries.", nil)
+}
+
+// HTTPRequestsTotal counts requests per endpoint.
+func HTTPRequestsTotal(r *Registry, endpoint string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_http_requests_total",
+		"HTTP requests served, by endpoint.", Labels{"endpoint": endpoint})
+}
+
+// HTTPErrorsTotal counts responses with status >= 400, per endpoint.
+func HTTPErrorsTotal(r *Registry, endpoint string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_http_errors_total",
+		"HTTP responses with status >= 400, by endpoint.", Labels{"endpoint": endpoint})
+}
+
+// HTTPRequestSeconds observes request latency per endpoint.
+func HTTPRequestSeconds(r *Registry, endpoint string) *Histogram {
+	if r == nil {
+		r = Default
+	}
+	return r.Histogram("thetis_http_request_seconds",
+		"HTTP request handling latency in seconds, by endpoint.",
+		LatencyBuckets, Labels{"endpoint": endpoint})
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Trace is the structured per-query breakdown of one search: an ordered
+// list of pipeline stages (prefilter probe/vote, column mapping, scoring,
+// ranking) with wall-clock and — where work fans out across workers — CPU
+// durations. It replaces ad-hoc timing fields and backs both the paper's
+// Section 7.3 runtime dissection and the live GET /debug/trace endpoint.
+//
+// A Trace is built by one goroutine; read it only after the traced
+// operation returns. All methods are nil-safe no-ops so instrumented code
+// never branches on "is tracing on".
+type Trace struct {
+	// Name identifies the traced operation (e.g. "search").
+	Name string
+	// Total is the end-to-end wall-clock duration, including stages not
+	// broken out individually.
+	Total time.Duration
+	// Stages lists the pipeline stages in execution order.
+	Stages []Stage
+}
+
+// Stage is one pipeline stage of a Trace.
+type Stage struct {
+	// Name identifies the stage ("probe", "vote", "mapping", "score", "rank").
+	Name string
+	// Wall is the wall-clock duration of the stage. Zero for stages that
+	// run interleaved inside another stage's wall time (see CPU).
+	Wall time.Duration
+	// CPU is cumulative CPU time summed across workers, for stages that
+	// fan out; it can exceed the enclosing wall time. Zero when the stage
+	// is single-threaded (Wall is then the whole story).
+	CPU time.Duration
+	// Items is the number of units processed (entities probed, tables
+	// scored, results ranked, …).
+	Items int
+}
+
+// NewTrace starts an empty trace.
+func NewTrace(name string) *Trace { return &Trace{Name: name} }
+
+// Add appends a stage. Nil-safe.
+func (t *Trace) Add(st Stage) {
+	if t == nil {
+		return
+	}
+	t.Stages = append(t.Stages, st)
+}
+
+// Prepend inserts stages before the existing ones, preserving their order —
+// used when an outer pipeline layer (e.g. LSEI prefiltering) wraps an inner
+// traced call. Nil-safe.
+func (t *Trace) Prepend(stages ...Stage) {
+	if t == nil || len(stages) == 0 {
+		return
+	}
+	t.Stages = append(append([]Stage(nil), stages...), t.Stages...)
+}
+
+// Stage returns the first stage with the given name, or nil. Nil-safe.
+func (t *Trace) Stage(name string) *Stage {
+	if t == nil {
+		return nil
+	}
+	for i := range t.Stages {
+		if t.Stages[i].Name == name {
+			return &t.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Span measures one in-progress stage. Obtain with StartStage, finish with
+// End.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+	items int
+}
+
+// StartStage begins timing a stage; call End on the returned span to record
+// it. Nil-safe: on a nil trace the span records nothing (but still returns
+// a usable duration from End).
+func (t *Trace) StartStage(name string) *Span {
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// SetItems attaches an item count to the span's stage.
+func (s *Span) SetItems(n int) { s.items = n }
+
+// End records the stage on the trace and returns its wall duration.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.t.Add(Stage{Name: s.name, Wall: d, Items: s.items})
+	return d
+}
+
+// String renders a compact single-line breakdown, e.g.
+// "search 12.3ms: probe 0.8ms (5) → vote 0.1ms → score 10.9ms (412)".
+func (t *Trace) String() string {
+	if t == nil {
+		return "<nil trace>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v:", t.Name, t.Total.Round(time.Microsecond))
+	for i, st := range t.Stages {
+		if i > 0 {
+			b.WriteString(" →")
+		}
+		d := st.Wall
+		unit := ""
+		if d == 0 && st.CPU > 0 {
+			d, unit = st.CPU, " cpu"
+		}
+		fmt.Fprintf(&b, " %s %v%s", st.Name, d.Round(time.Microsecond), unit)
+		if st.Items > 0 {
+			fmt.Fprintf(&b, " (%d)", st.Items)
+		}
+	}
+	return b.String()
+}
+
+// stageJSON / traceJSON fix the wire shape of /debug/trace: microsecond
+// durations under explicit _us keys, zero fields elided.
+type stageJSON struct {
+	Stage  string `json:"stage"`
+	WallUS int64  `json:"wall_us,omitempty"`
+	CPUUS  int64  `json:"cpu_us,omitempty"`
+	Items  int    `json:"items,omitempty"`
+}
+
+type traceJSON struct {
+	Name    string      `json:"name"`
+	TotalUS int64       `json:"total_us"`
+	Stages  []stageJSON `json:"stages"`
+}
+
+// MarshalJSON implements json.Marshaler with durations in microseconds.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := traceJSON{Name: t.Name, TotalUS: t.Total.Microseconds(), Stages: make([]stageJSON, len(t.Stages))}
+	for i, st := range t.Stages {
+		out.Stages[i] = stageJSON{
+			Stage:  st.Name,
+			WallUS: st.Wall.Microseconds(),
+			CPUUS:  st.CPU.Microseconds(),
+			Items:  st.Items,
+		}
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceStagesAndLookup(t *testing.T) {
+	tr := NewTrace("search")
+	sp := tr.StartStage("probe")
+	sp.SetItems(5)
+	sp.End()
+	tr.Add(Stage{Name: "mapping", CPU: 3 * time.Millisecond, Items: 40})
+	tr.Prepend(Stage{Name: "vote", Wall: time.Millisecond})
+
+	if got := len(tr.Stages); got != 3 {
+		t.Fatalf("stages = %d, want 3", got)
+	}
+	if tr.Stages[0].Name != "vote" || tr.Stages[1].Name != "probe" || tr.Stages[2].Name != "mapping" {
+		t.Errorf("stage order wrong: %+v", tr.Stages)
+	}
+	if st := tr.Stage("mapping"); st == nil || st.CPU != 3*time.Millisecond || st.Items != 40 {
+		t.Errorf("Stage lookup = %+v", tr.Stage("mapping"))
+	}
+	if tr.Stage("absent") != nil {
+		t.Error("absent stage must be nil")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(Stage{Name: "x"})
+	tr.Prepend(Stage{Name: "y"})
+	if tr.Stage("x") != nil {
+		t.Error("nil trace Stage must be nil")
+	}
+	sp := tr.StartStage("z")
+	sp.SetItems(1)
+	if d := sp.End(); d < 0 {
+		t.Error("span on nil trace must still measure time")
+	}
+	if got := tr.String(); got != "<nil trace>" {
+		t.Errorf("nil String = %q", got)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := NewTrace("search")
+	tr.Total = 1500 * time.Microsecond
+	tr.Add(Stage{Name: "probe", Wall: 200 * time.Microsecond, Items: 4})
+	tr.Add(Stage{Name: "mapping", CPU: 900 * time.Microsecond})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Name    string `json:"name"`
+		TotalUS int64  `json:"total_us"`
+		Stages  []map[string]any
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "search" || out.TotalUS != 1500 || len(out.Stages) != 2 {
+		t.Fatalf("json = %s", data)
+	}
+	if out.Stages[0]["wall_us"].(float64) != 200 || out.Stages[0]["items"].(float64) != 4 {
+		t.Errorf("probe stage json = %v", out.Stages[0])
+	}
+	if _, present := out.Stages[1]["wall_us"]; present {
+		t.Errorf("zero wall must be elided: %v", out.Stages[1])
+	}
+	if out.Stages[1]["cpu_us"].(float64) != 900 {
+		t.Errorf("mapping stage json = %v", out.Stages[1])
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace("search")
+	tr.Total = 2 * time.Millisecond
+	tr.Add(Stage{Name: "probe", Wall: time.Millisecond, Items: 3})
+	tr.Add(Stage{Name: "mapping", CPU: 4 * time.Millisecond})
+	s := tr.String()
+	for _, want := range []string{"search 2ms:", "probe 1ms (3)", "→ mapping 4ms cpu"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -8,9 +8,13 @@
 //	POST /search            semantic search  {"query": "...", "k": 10}
 //	POST /keyword           BM25 keyword search {"q": "...", "k": 10}
 //	POST /hybrid            BM25-complemented semantic search
+//	GET  /metrics           Prometheus text-format metrics
+//	GET  /debug/trace       per-stage breakdown of one search (?query=…&k=…)
+//	GET  /debug/pprof/*     runtime profiles (opt-in via WithPprof)
 //
 // Queries use the textual format of System.ParseQuery: entities separated
-// by "|", tuples by newlines (or ";").
+// by "|", tuples by newlines (or ";"). Every endpoint is instrumented with
+// request/error counters and a latency histogram (docs/OBSERVABILITY.md).
 package server
 
 import (
@@ -18,10 +22,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"thetis"
+	"thetis/internal/obs"
 )
 
 // Server is an http.Handler serving one Thetis system. The underlying
@@ -29,20 +36,81 @@ import (
 // when the keyword/hybrid endpoints are used) and must not be mutated while
 // serving.
 type Server struct {
-	sys *thetis.System
-	mux *http.ServeMux
+	sys   *thetis.System
+	mux   *http.ServeMux
+	reg   *obs.Registry
+	pprof bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithPprof mounts net/http/pprof's profile handlers under /debug/pprof/.
+// Off by default: profiles expose internals and cost CPU while running, so
+// deployments opt in (thetisd -pprof).
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithRegistry serves r on /metrics instead of obs.Default. The search
+// pipeline's own metrics always live on obs.Default, so overriding the
+// registry detaches /metrics from them — useful mainly in tests.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Server) { s.reg = r }
 }
 
 // New wraps a configured system.
-func New(sys *thetis.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /tables/{id}", s.handleTable)
-	s.mux.HandleFunc("POST /search", s.handleSearch)
-	s.mux.HandleFunc("POST /keyword", s.handleKeyword)
-	s.mux.HandleFunc("POST /hybrid", s.handleHybrid)
+func New(sys *thetis.System, opts ...Option) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), reg: obs.Default}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handle("GET", "/healthz", s.handleHealth)
+	s.handle("GET", "/stats", s.handleStats)
+	s.handle("GET", "/tables/{id}", s.handleTable)
+	s.handle("POST", "/search", s.handleSearch)
+	s.handle("POST", "/keyword", s.handleKeyword)
+	s.handle("POST", "/hybrid", s.handleHybrid)
+	s.handle("GET", "/debug/trace", s.handleTrace)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	if s.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// handle mounts an instrumented handler: per-endpoint request count, error
+// count (status >= 400), and latency histogram. The endpoint label is the
+// route pattern, so /tables/{id} stays one series regardless of id.
+func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
+	requests := obs.HTTPRequestsTotal(s.reg, pattern)
+	errCount := obs.HTTPErrorsTotal(s.reg, pattern)
+	latency := obs.HTTPRequestSeconds(s.reg, pattern)
+	s.mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		latency.Observe(time.Since(start).Seconds())
+		requests.Inc()
+		if sw.status >= 400 {
+			errCount.Inc()
+		}
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -208,6 +276,45 @@ func (s *Server) handleHybrid(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = SearchResult{Table: int(id), Name: s.sys.Table(id).Name}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace runs one search and returns its per-stage breakdown as JSON:
+//
+//	GET /debug/trace?query=res%2Fa%20%7C%20res%2Fb&k=10
+//
+// The response carries the obs.Trace (stage names, wall/CPU microseconds,
+// item counts) plus the result and candidate counts, without the result
+// list itself — it is a diagnostics endpoint, not a search endpoint.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("query")
+	if strings.TrimSpace(text) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing ?query= parameter"))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+		if v > 1000 {
+			v = 1000
+		}
+		k = v
+	}
+	q, err := s.sys.ParseQuery(strings.ReplaceAll(text, ";", "\n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, stats := s.sys.SearchStats(q, k)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace":      stats.Trace,
+		"candidates": stats.Candidates,
+		"scored":     stats.Scored,
+		"results":    len(results),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,15 +2,19 @@ package server
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
 	"thetis"
 )
 
-func demoServer(t *testing.T) *httptest.Server {
+func demoServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
 	g := thetis.NewGraph()
 	triples := `
@@ -39,7 +43,7 @@ func demoServer(t *testing.T) *httptest.Server {
 	sys.UseTypeSimilarity()
 	sys.BuildKeywordIndex()
 
-	ts := httptest.NewServer(New(sys))
+	ts := httptest.NewServer(New(sys, opts...))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -151,6 +155,113 @@ func TestHybridEndpoint(t *testing.T) {
 	results := out["results"].([]any)
 	if len(results) == 0 {
 		t.Fatal("no hybrid results")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	// Issue one search so the pipeline metrics move.
+	postJSON(t, ts.URL+"/search", `{"query": "Ron Santo | Chicago Cubs"}`, http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE thetis_http_requests_total counter",
+		`thetis_http_requests_total{endpoint="/search"}`,
+		"# TYPE thetis_http_request_seconds histogram",
+		`thetis_http_request_seconds_bucket{endpoint="/search",le="+Inf"}`,
+		"# TYPE thetis_search_stage_seconds histogram",
+		`thetis_search_stage_seconds_count{stage="score"}`,
+		"thetis_search_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := getJSON(t, ts.URL+"/debug/trace?query="+url.QueryEscape("Ron Santo | Chicago Cubs")+"&k=3", http.StatusOK)
+	trace, ok := out["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no trace in response: %v", out)
+	}
+	if trace["name"] != "search" {
+		t.Errorf("trace name = %v", trace["name"])
+	}
+	stages := trace["stages"].([]any)
+	names := make(map[string]bool)
+	for _, st := range stages {
+		names[st.(map[string]any)["stage"].(string)] = true
+	}
+	for _, want := range []string{"mapping", "score", "rank"} {
+		if !names[want] {
+			t.Errorf("trace stages missing %q: %v", want, names)
+		}
+	}
+	if out["candidates"].(float64) != 2 {
+		t.Errorf("candidates = %v", out["candidates"])
+	}
+
+	getJSON(t, ts.URL+"/debug/trace", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/debug/trace?query=x&k=zero", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/debug/trace?query="+url.QueryEscape("Unknown Person"), http.StatusBadRequest)
+}
+
+func TestErrorCounterMoves(t *testing.T) {
+	ts := demoServer(t)
+	postJSON(t, ts.URL+"/search", `{"k": 5}`, http.StatusBadRequest)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	re := regexp.MustCompile(`thetis_http_errors_total\{endpoint="/search"\} ([0-9]+)`)
+	m := re.FindStringSubmatch(string(body))
+	if m == nil {
+		t.Fatalf("no error counter for /search in:\n%s", body)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 1 {
+		t.Errorf("error counter = %d, want >= 1", n)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	ts := demoServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof must be off by default; status = %d", resp.StatusCode)
+	}
+
+	enabled := demoServer(t, WithPprof())
+	resp, err = http.Get(enabled.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index with WithPprof: status = %d", resp.StatusCode)
 	}
 }
 

@@ -25,6 +25,7 @@ package thetis
 import (
 	"errors"
 	"io"
+	"time"
 
 	"thetis/internal/bm25"
 	"thetis/internal/core"
@@ -32,6 +33,7 @@ import (
 	"thetis/internal/kg"
 	"thetis/internal/lake"
 	"thetis/internal/linking"
+	"thetis/internal/obs"
 	"thetis/internal/table"
 )
 
@@ -58,6 +60,12 @@ type (
 	Result = core.Result
 	// SearchStats reports how a search spent its time.
 	SearchStats = core.Stats
+	// Trace is the structured per-stage breakdown of one search
+	// (SearchStats.Trace): prefilter probe/vote, column mapping, scoring,
+	// ranking.
+	Trace = obs.Trace
+	// TraceStage is one pipeline stage of a Trace.
+	TraceStage = obs.Stage
 	// IndexConfig parameterizes the LSH prefiltering index.
 	IndexConfig = core.LSEIConfig
 	// Linker resolves cell values to KG entities.
@@ -381,14 +389,34 @@ func (s *System) Search(q Query, k int) []Result {
 // prefilter yields no candidates at all (e.g. every query entity's types
 // were dropped by the frequent-type filter), the search falls back to a
 // full scan rather than silently returning nothing.
+//
+// The returned stats carry a structured Trace covering the whole pipeline:
+// with an index built, the prefilter's probe and vote stages precede the
+// engine's mapping/score/rank stages, and Trace.Total spans everything
+// (Stats.TotalTime remains engine-only, the quantity of the paper's
+// Table 3).
 func (s *System) SearchStats(q Query, k int) ([]Result, SearchStats) {
 	s.mustEngine()
-	if s.index != nil {
-		if cands := s.index.Candidates(q, s.votes); len(cands) > 0 {
-			return s.engine.SearchCandidates(q, cands, k)
-		}
+	if s.index == nil {
+		return s.engine.Search(q, k)
 	}
-	return s.engine.Search(q, k)
+	start := time.Now()
+	pre := obs.NewTrace("prefilter")
+	cands := s.index.CandidatesTraced(q, s.votes, pre)
+	var (
+		results []Result
+		stats   SearchStats
+	)
+	if len(cands) > 0 {
+		results, stats = s.engine.SearchCandidates(q, cands, k)
+	} else {
+		// Keep the empty prefilter's stages so the trace shows why the
+		// search degraded to a full scan.
+		results, stats = s.engine.Search(q, k)
+	}
+	stats.Trace.Prepend(pre.Stages...)
+	stats.Trace.Total = time.Since(start)
+	return results, stats
 }
 
 // ParseQuery resolves a textual query ("entity | entity" per line, matching
