@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench fuzz
 
 all: check
 
@@ -27,6 +27,12 @@ fmt:
 	fi
 
 check: fmt vet build race
+
+# Replays every fuzz target's seed corpus (f.Add seeds + testdata/fuzz/)
+# as a fast regression suite. Live exploration happens in CI and via
+# `go test -fuzz <Target> <pkg>`.
+fuzz:
+	$(GO) test -run '^Fuzz' ./internal/bm25 ./internal/kg ./internal/server
 
 # Paper-table benchmarks (bench_test.go); pass BENCH=<regex> to narrow.
 BENCH ?= .

@@ -22,7 +22,10 @@ var (
 	benchEnv  *experiments.Env
 )
 
-func benchEnvironment(b *testing.B) *experiments.Env {
+// benchEnvironment lazily builds the shared scaled-down environment. It is
+// also used by the request-lifecycle tests (timeout_test.go), hence
+// testing.TB rather than *testing.B.
+func benchEnvironment(b testing.TB) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchEnv = experiments.NewEnv(experiments.SmallConfig(), nil)

@@ -8,7 +8,8 @@
 //	              [-sim types|embeddings] [-embfile embeddings.bin]
 //	thetis search -kg kg.nt -corpus corpus.jsonl -query "Ron Santo | Chicago Cubs" \
 //	              [-sim types|embeddings] [-embfile embeddings.bin] \
-//	              [-k 10] [-lsh] [-indexfile index.bin] [-votes 3] [-hybrid]
+//	              [-k 10] [-lsh] [-indexfile index.bin] [-votes 3] [-hybrid] \
+//	              [-timeout 5s]
 //
 // The corpus is a JSONL file of entity-annotated tables as produced by
 // cmd/datagen (or any tool emitting the same format). Training embeddings
@@ -18,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -222,6 +224,7 @@ func runSearch(args []string) {
 	indexFile := fs.String("indexfile", "", "load a prebuilt LSEI instead of building one")
 	votes := fs.Int("votes", 1, "LSH vote threshold")
 	hybrid := fs.Bool("hybrid", false, "complement with BM25 keyword search")
+	timeout := fs.Duration("timeout", 0, "search deadline; an expiring search prints the partial ranking (0 disables)")
 	fs.Parse(args)
 
 	if *queryText == "" {
@@ -252,10 +255,17 @@ func runSearch(args []string) {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	if *hybrid {
 		sys.BuildKeywordIndex()
-		ids := sys.HybridSearch(q, strings.NewReplacer("|", " ", ";", " ").Replace(*queryText), *k)
+		ids := sys.HybridSearchContext(ctx, q, strings.NewReplacer("|", " ", ";", " ").Replace(*queryText), *k)
 		elapsed := time.Since(start)
 		for i, id := range ids {
 			fmt.Printf("%2d. %s\n", i+1, sys.Table(id).Name)
@@ -264,12 +274,15 @@ func runSearch(args []string) {
 		return
 	}
 
-	results, stats := sys.SearchStats(q, *k)
+	results, stats := sys.SearchStatsContext(ctx, q, *k)
 	elapsed := time.Since(start)
 	for i, r := range results {
 		fmt.Printf("%2d. %-40s score=%.4f\n", i+1, sys.Table(r.Table).Name, r.Score)
 	}
 	fmt.Printf("(%d/%d tables scored in %v)\n", stats.Scored, stats.Candidates, elapsed.Round(time.Millisecond))
+	if stats.Truncated {
+		fmt.Printf("(truncated: deadline %v expired; ranking covers tables scored before the cutoff)\n", *timeout)
+	}
 	if stats.Trace != nil {
 		fmt.Printf("(%s)\n", stats.Trace)
 	}

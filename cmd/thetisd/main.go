@@ -3,7 +3,13 @@
 //
 //	thetisd -kg bench/kg.nt -corpus bench/corpus.jsonl -addr :8080 \
 //	        [-sim types|embeddings] [-embfile embeddings.bin] [-lsh] [-votes 3] \
-//	        [-pprof]
+//	        [-timeout 10s] [-max-inflight 64] [-drain 30s] [-pprof]
+//
+// Request lifecycle: every search-type request runs under -timeout (an
+// expiring search returns its partial ranking marked "truncated"), at most
+// -max-inflight searches execute concurrently (excess load is shed with
+// 429 + Retry-After), and SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight queries for up to -drain before exiting.
 //
 // Operational endpoints (docs/OBSERVABILITY.md): GET /metrics exposes
 // Prometheus-format counters and latency histograms, GET /debug/trace
@@ -13,11 +19,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"io"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
 	"thetis"
 	"thetis/internal/server"
@@ -35,6 +45,9 @@ func main() {
 	embFile := flag.String("embfile", "", "embeddings file (for -sim embeddings)")
 	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering (30,10)")
 	votes := flag.Int("votes", 3, "LSH vote threshold")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request search deadline; expiring searches return partial results (0 disables)")
+	maxInflight := flag.Int("max-inflight", 8*runtime.GOMAXPROCS(0), "max concurrent search requests before shedding with 429 (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight requests (0 waits forever)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -69,13 +82,23 @@ func main() {
 	log.Println("building keyword index…")
 	sys.BuildKeywordIndex()
 
-	var opts []server.Option
+	opts := []server.Option{
+		server.WithSearchTimeout(*timeout),
+		server.WithMaxInFlight(*maxInflight),
+	}
 	if *withPprof {
 		opts = append(opts, server.WithPprof())
 		log.Println("pprof enabled on /debug/pprof/")
 	}
-	log.Printf("serving %d tables on %s (metrics on /metrics)", sys.NumTables(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys, opts...)))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving %d tables on %s (metrics on /metrics, timeout %v, max in-flight %d)",
+		sys.NumTables(), *addr, *timeout, *maxInflight)
+	if err := server.Run(ctx, *addr, server.New(sys, opts...), *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Println("drained in-flight queries, shut down cleanly")
 }
 
 func load(kgPath, corpusPath string) *thetis.System {

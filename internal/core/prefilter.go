@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -278,16 +279,17 @@ type probeTally struct {
 // probeVote probes the index with one signature, lets colliding entities
 // (or columns) vote for their tables, and merges vote-surviving tables into
 // out, splitting the spent time into the tally's probe and vote stages.
-func (x *LSEI) probeVote(sig []uint32, votes int, out map[lake.TableID]bool, tally *probeTally) {
+// The band probes underneath honor ctx (see lsh.Index.QuerySetContext).
+func (x *LSEI) probeVote(ctx context.Context, sig []uint32, votes int, out map[lake.TableID]bool, tally *probeTally) {
 	probeStart := time.Now()
 	tally.probes++
 	bag := make(map[lake.TableID]int)
 	if x.columnMode {
-		for col := range x.index.QuerySet(sig) {
+		for col := range x.index.QuerySetContext(ctx, sig) {
 			bag[x.colTable[col]]++
 		}
 	} else {
-		for item := range x.index.QuerySet(sig) {
+		for item := range x.index.QuerySetContext(ctx, sig) {
 			for _, tid := range x.lake.TablesWith(kg.EntityID(item)) {
 				bag[tid]++
 			}
@@ -328,23 +330,40 @@ func (x *LSEI) finish(out map[lake.TableID]bool, tally probeTally, tr *obs.Trace
 // entity survive. votes <= 1 disables voting. The result is sorted by
 // table ID.
 func (x *LSEI) Candidates(q Query, votes int) []lake.TableID {
-	return x.CandidatesTraced(q, votes, nil)
+	return x.CandidatesTracedContext(context.Background(), q, votes, nil)
 }
 
 // CandidatesTraced is Candidates recording the prefilter's probe and vote
 // stages onto tr (nil tr skips tracing; metrics are always updated).
 func (x *LSEI) CandidatesTraced(q Query, votes int, tr *obs.Trace) []lake.TableID {
+	return x.CandidatesTracedContext(context.Background(), q, votes, tr)
+}
+
+// CandidatesTracedContext is CandidatesTraced honoring cancellation: the
+// probe/vote loop checks ctx between query entities (and between band
+// probes underneath), so a dead context returns the candidates gathered so
+// far. Callers detect the cutoff via ctx.Err(); the downstream scoring
+// phase bails out immediately anyway and marks its Stats.Truncated.
+func (x *LSEI) CandidatesTracedContext(ctx context.Context, q Query, votes int, tr *obs.Trace) []lake.TableID {
 	if votes < 1 {
 		votes = 1
 	}
+	done := ctx.Done()
 	out := make(map[lake.TableID]bool)
 	var tally probeTally
 	for _, e := range q.DistinctEntities() {
+		if done != nil {
+			select {
+			case <-done:
+				return x.finish(out, tally, tr)
+			default:
+			}
+		}
 		sig := x.entitySignature(e)
 		if sig == nil {
 			continue
 		}
-		x.probeVote(sig, votes, out, &tally)
+		x.probeVote(ctx, sig, votes, out, &tally)
 	}
 	return x.finish(out, tally, tr)
 }
@@ -377,7 +396,7 @@ func (x *LSEI) CandidatesAggregated(q Query, votes int) []lake.TableID {
 		if sig == nil {
 			continue
 		}
-		x.probeVote(sig, votes, out, &tally)
+		x.probeVote(context.Background(), sig, votes, out, &tally)
 	}
 	return x.finish(out, tally, nil)
 }

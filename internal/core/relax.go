@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Over-specialized queries — the paper observes that "the 5-tuple queries
 // [become] easily over-specialized", hurting recall, and lists improving
@@ -30,6 +33,14 @@ type RelaxOptions struct {
 // returns the results of the last round together with the query that
 // produced them.
 func (eng *Engine) RelaxedSearch(q Query, opt RelaxOptions) ([]Result, Query) {
+	return eng.RelaxedSearchContext(context.Background(), q, opt)
+}
+
+// RelaxedSearchContext is RelaxedSearch honoring cancellation: each round's
+// search is truncatable (see SearchContext), and no further relaxation
+// round starts once the context is dead — the last round's best-effort
+// results are returned.
+func (eng *Engine) RelaxedSearchContext(ctx context.Context, q Query, opt RelaxOptions) ([]Result, Query) {
 	if opt.MinResults <= 0 {
 		opt.MinResults = opt.K
 	}
@@ -38,8 +49,11 @@ func (eng *Engine) RelaxedSearch(q Query, opt RelaxOptions) ([]Result, Query) {
 		rounds = q.NumEntities()
 	}
 	current := q
-	results, _ := eng.Search(current, opt.K)
+	results, _ := eng.SearchContext(ctx, current, opt.K)
 	for round := 0; round < rounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if countAbove(results, opt.MinScore) >= opt.MinResults {
 			break
 		}
@@ -48,7 +62,7 @@ func (eng *Engine) RelaxedSearch(q Query, opt RelaxOptions) ([]Result, Query) {
 			break
 		}
 		current = relaxed
-		results, _ = eng.Search(current, opt.K)
+		results, _ = eng.SearchContext(ctx, current, opt.K)
 	}
 	return results, current
 }

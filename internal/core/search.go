@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thetis/internal/kg"
@@ -20,6 +22,7 @@ var (
 	mStageScore   = obs.SearchStageSeconds("score")
 	mStageRank    = obs.SearchStageSeconds("rank")
 	mCandidates   = obs.SearchCandidates()
+	mTruncated    = obs.SearchTruncatedTotal()
 )
 
 func kgEntity(x uint32) kg.EntityID { return kg.EntityID(x) }
@@ -72,6 +75,11 @@ type Stats struct {
 	// not include LSEI prefiltering, which runs before the engine; the
 	// enclosing Trace's Total does.
 	TotalTime time.Duration
+	// Truncated reports that the search's context was cancelled or hit its
+	// deadline before every candidate was scored. The returned results are
+	// a best-effort subset: every table that was scored before the cutoff,
+	// correctly ranked — graceful degradation, not an error.
+	Truncated bool
 	// Trace is the structured per-stage breakdown of this search
 	// (mapping → score → rank, with prefilter probe/vote stages prepended
 	// by System.SearchStats when an LSEI is active). Always non-nil on
@@ -81,14 +89,29 @@ type Stats struct {
 
 // Search scores every table of the lake against q and returns the top-k
 // results (k < 0 returns all) in descending score order. Tables with
-// SemRel(Q,T) = 0 are never returned.
+// SemRel(Q,T) = 0 are never returned. It is SearchContext with a
+// background context (never cancelled).
 func (eng *Engine) Search(q Query, k int) ([]Result, Stats) {
-	return eng.SearchCandidates(q, nil, k)
+	return eng.SearchCandidatesContext(context.Background(), q, nil, k)
+}
+
+// SearchContext is Search honoring cancellation and deadlines: scoring
+// workers check ctx between tables (the cancellation granule is one table),
+// so an expiring deadline returns promptly with the best-effort prefix of
+// tables scored so far, marked Stats.Truncated.
+func (eng *Engine) SearchContext(ctx context.Context, q Query, k int) ([]Result, Stats) {
+	return eng.SearchCandidatesContext(ctx, q, nil, k)
 }
 
 // SearchCandidates is Search restricted to a candidate table set (nil =
 // the whole lake), the entry point used after LSEI prefiltering.
 func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) ([]Result, Stats) {
+	return eng.SearchCandidatesContext(context.Background(), q, candidates, k)
+}
+
+// SearchCandidatesContext is SearchCandidates honoring cancellation (see
+// SearchContext for the truncation contract).
+func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candidates []lake.TableID, k int) ([]Result, Stats) {
 	start := time.Now()
 	tr := obs.NewTrace("search")
 	if candidates == nil {
@@ -115,6 +138,15 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 		workers = len(candidates)
 	}
 
+	// done is nil for background contexts, keeping the uncancellable hot
+	// path free of per-table channel operations.
+	done := ctx.Done()
+	var truncated atomic.Bool
+	if done != nil && ctx.Err() != nil {
+		truncated.Store(true)
+		workers = 0 // context already dead: skip scoring entirely
+	}
+
 	type partial struct {
 		results []Result
 		mapping time.Duration
@@ -122,7 +154,10 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 	parts := make([]partial, workers)
 	var wg sync.WaitGroup
 	scoreStart := time.Now()
-	chunk := (len(candidates) + workers - 1) / workers
+	chunk := 0
+	if workers > 0 {
+		chunk = (len(candidates) + workers - 1) / workers
+	}
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -138,6 +173,14 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 			// Each worker gets its own scorer: σ caches are not shared.
 			sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
 			for _, tid := range candidates[lo:hi] {
+				if done != nil {
+					select {
+					case <-done:
+						truncated.Store(true)
+						return
+					default:
+					}
+				}
 				score, mt := sc.scoreTable(eng.Lake.Table(tid))
 				parts[w].mapping += mt
 				if score > 0 {
@@ -153,6 +196,10 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 	for _, p := range parts {
 		results = append(results, p.results...)
 		stats.MappingTime += p.mapping
+	}
+	stats.Truncated = truncated.Load()
+	if stats.Truncated {
+		mTruncated.Inc()
 	}
 	// The mapping stage runs inside the scoring workers, so its wall time
 	// is part of the score stage; it is reported as cross-worker CPU time.
@@ -186,6 +233,16 @@ func (eng *Engine) SearchCandidates(q Query, candidates []lake.TableID, k int) (
 func (eng *Engine) ScoreTable(q Query, tid lake.TableID) (float64, time.Duration) {
 	sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
 	return sc.scoreTable(eng.Lake.Table(tid))
+}
+
+// ScoreTableContext is ScoreTable honoring cancellation: one table is the
+// scoring granule, so a dead context short-circuits to (0, 0) and a live
+// one scores the table in full.
+func (eng *Engine) ScoreTableContext(ctx context.Context, q Query, tid lake.TableID) (float64, time.Duration) {
+	if ctx.Err() != nil {
+		return 0, 0
+	}
+	return eng.ScoreTable(q, tid)
 }
 
 // RankedTables projects results onto table IDs as plain ints, the shape the

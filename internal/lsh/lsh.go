@@ -11,6 +11,7 @@
 package lsh
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/fnv"
 	"math/rand"
@@ -245,9 +246,25 @@ func (ix *Index) Query(sig []uint32) []uint32 {
 // QuerySet returns the deduplicated set of items colliding with the
 // signature.
 func (ix *Index) QuerySet(sig []uint32) map[uint32]bool {
+	return ix.QuerySetContext(context.Background(), sig)
+}
+
+// QuerySetContext is QuerySet honoring cancellation between band probes: a
+// dead context returns the partial collision set gathered so far (bands
+// already scanned stay in it). Background contexts skip the check entirely.
+func (ix *Index) QuerySetContext(ctx context.Context, sig []uint32) map[uint32]bool {
 	set := make(map[uint32]bool)
 	scanned := 0
+	done := ctx.Done()
 	for b := 0; b < ix.bands; b++ {
+		if done != nil {
+			select {
+			case <-done:
+				ix.countProbe(scanned)
+				return set
+			default:
+			}
+		}
 		key := bandHash(sig, b, ix.bandSize)
 		for _, it := range ix.buckets[b][key] {
 			set[it] = true

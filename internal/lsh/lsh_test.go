@@ -1,6 +1,7 @@
 package lsh
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -251,5 +252,32 @@ func BenchmarkHyperplaneSignature128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Signature(v)
+	}
+}
+
+func TestQuerySetContextCancelled(t *testing.T) {
+	ix := NewIndex(32, 8)
+	m := NewMinHasher(32, 1)
+	sig := m.Signature([]uint64{1, 2, 3})
+	ix.Insert(10, sig)
+	ix.Insert(20, m.Signature([]uint64{500, 600, 700}))
+
+	full := ix.QuerySetContext(context.Background(), sig)
+	if !full[10] {
+		t.Fatal("background context lost a collision")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial := ix.QuerySetContext(ctx, sig)
+	// A dead context is checked before the first band probe, so nothing
+	// was scanned; the partial set must be a (here: empty) subset.
+	if len(partial) != 0 {
+		t.Errorf("pre-cancelled query returned %d items", len(partial))
+	}
+	for it := range partial {
+		if !full[it] {
+			t.Errorf("cancelled query invented item %d", it)
+		}
 	}
 }

@@ -32,6 +32,13 @@ func SearchCandidates() *Histogram {
 		"Tables scored per search, after any prefiltering.", CountBuckets, nil)
 }
 
+// SearchTruncatedTotal counts searches cut short by context cancellation or
+// deadline expiry — best-effort partial results, not errors.
+func SearchTruncatedTotal() *Counter {
+	return Default.Counter("thetis_search_truncated_total",
+		"Searches truncated by context cancellation or deadline, returning partial results.", nil)
+}
+
 // PrefilterQueriesTotal counts LSEI candidate-set computations.
 func PrefilterQueriesTotal() *Counter {
 	return Default.Counter("thetis_prefilter_queries_total",
@@ -104,4 +111,47 @@ func HTTPRequestSeconds(r *Registry, endpoint string) *Histogram {
 	return r.Histogram("thetis_http_request_seconds",
 		"HTTP request handling latency in seconds, by endpoint.",
 		LatencyBuckets, Labels{"endpoint": endpoint})
+}
+
+// HTTPShedTotal counts search requests rejected with 429 because the
+// in-flight concurrency limit was reached, per endpoint.
+func HTTPShedTotal(r *Registry, endpoint string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_http_shed_total",
+		"Requests shed with 429 at the in-flight concurrency limit, by endpoint.",
+		Labels{"endpoint": endpoint})
+}
+
+// HTTPTimeoutsTotal counts requests whose per-request deadline expired
+// before the handler finished, per endpoint.
+func HTTPTimeoutsTotal(r *Registry, endpoint string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_http_timeouts_total",
+		"Requests that hit their server-side deadline, by endpoint.",
+		Labels{"endpoint": endpoint})
+}
+
+// HTTPCancellationsTotal counts requests whose context was cancelled (the
+// client went away before the handler finished), per endpoint.
+func HTTPCancellationsTotal(r *Registry, endpoint string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_http_cancellations_total",
+		"Requests cancelled by the client before completion, by endpoint.",
+		Labels{"endpoint": endpoint})
+}
+
+// HTTPInFlight gauges the number of search-type requests currently
+// executing (admitted past the concurrency limit, handler not yet done).
+func HTTPInFlight(r *Registry) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_http_inflight",
+		"Search-type requests currently executing.", nil)
 }

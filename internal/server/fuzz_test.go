@@ -1,0 +1,78 @@
+package server
+
+// Fuzzing for the query-request JSON decoding path: arbitrary request
+// bodies must never panic the server or produce a 5xx, and every response
+// must be well-formed JSON. Seeds live in testdata/fuzz/ (checked in) plus
+// the f.Add calls below; `go test -run '^Fuzz'` replays them as a
+// regression suite, `go test -fuzz FuzzSearchRequestDecode` explores.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func FuzzSearchRequestDecode(f *testing.F) {
+	f.Add(`{"query": "Ron Santo | Chicago Cubs", "k": 5}`)
+	f.Add(`{"query": "Ron Santo; Ernie Banks"}`)
+	f.Add(`{"query": ""}`)
+	f.Add(`{"query": "x", "bogus": 1}`)
+	f.Add(`{"k": -3}`)
+	f.Add(`{"query": "Ron Santo", "k": 99999999}`)
+	f.Add(`{"query": "res/santo", "keywords": "cubs"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"query": 42}`)
+	f.Add(`{"query": "\u0000\ufffd"}`)
+	f.Add(``)
+	f.Add(`[]`)
+	f.Add(`{"query": "a|b|c|d|e|f\ng|h", "k": 1}` + strings.Repeat(" ", 64))
+
+	srv := New(demoSystem(f))
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, path := range []string{"/search", "/hybrid"} {
+			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code >= 500 {
+				t.Fatalf("POST %s %q: status %d (must be 4xx, never 5xx):\n%s",
+					path, body, rec.Code, rec.Body.String())
+			}
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("POST %s %q: invalid JSON response:\n%s", path, body, rec.Body.String())
+			}
+			if rec.Code == http.StatusOK {
+				var resp SearchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Fatalf("POST %s %q: 200 body not a SearchResponse: %v", path, body, err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzKeywordRequestDecode covers the /keyword endpoint's independent
+// decoder the same way.
+func FuzzKeywordRequestDecode(f *testing.F) {
+	f.Add(`{"q": "ernie banks"}`)
+	f.Add(`{"q": "", "k": 2}`)
+	f.Add(`{"q": 7}`)
+	f.Add(`garbage`)
+	f.Add(``)
+
+	srv := New(demoSystem(f))
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/keyword", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /keyword %q: status %d:\n%s", body, rec.Code, rec.Body.String())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("POST /keyword %q: invalid JSON response:\n%s", body, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Run serves h on addr until ctx is cancelled, then shuts down gracefully:
+// the listener closes immediately (no new connections) while in-flight
+// requests get up to drain to finish via http.Server.Shutdown. drain <= 0
+// waits indefinitely. The production daemon (cmd/thetisd) passes a
+// signal.NotifyContext so SIGINT/SIGTERM drain instead of dropping queries
+// mid-score.
+func Run(ctx context.Context, addr string, h http.Handler, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, h, drain)
+}
+
+// Serve is Run over an existing listener (which it takes ownership of).
+// It returns nil after a clean drain, the serve error if the listener
+// fails, or a drain error when in-flight requests outlive the drain budget
+// — in that case remaining connections are force-closed before returning.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := srv.Shutdown(sctx)
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	if err != nil {
+		srv.Close() // drain budget exhausted: cut the stragglers
+		return fmt.Errorf("shutdown drain: %w", err)
+	}
+	return nil
+}

@@ -15,9 +15,19 @@
 // Queries use the textual format of System.ParseQuery: entities separated
 // by "|", tuples by newlines (or ";"). Every endpoint is instrumented with
 // request/error counters and a latency histogram (docs/OBSERVABILITY.md).
+//
+// The search-type endpoints (/search, /keyword, /hybrid, /debug/trace) run
+// behind a request-lifecycle guard: an optional bounded-concurrency
+// semaphore that sheds excess load with 429 + Retry-After
+// (WithMaxInFlight), and an optional per-request deadline
+// (WithSearchTimeout) under which an expiring search returns its
+// best-effort partial ranking marked "truncated" rather than an error.
+// Run/Serve provide the production harness with signal-driven graceful
+// shutdown that drains in-flight queries.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,10 +46,18 @@ import (
 // when the keyword/hybrid endpoints are used) and must not be mutated while
 // serving.
 type Server struct {
-	sys   *thetis.System
-	mux   *http.ServeMux
-	reg   *obs.Registry
-	pprof bool
+	sys     *thetis.System
+	mux     *http.ServeMux
+	reg     *obs.Registry
+	pprof   bool
+	timeout time.Duration
+	sem     chan struct{}
+
+	// testHookRequest, when set, runs inside the lifecycle guard of every
+	// search-type request — after semaphore admission and deadline
+	// arming, before the handler. Tests use it to hold requests in flight
+	// deterministically.
+	testHookRequest func(*http.Request)
 }
 
 // Option configures a Server.
@@ -59,6 +77,29 @@ func WithRegistry(r *obs.Registry) Option {
 	return func(s *Server) { s.reg = r }
 }
 
+// WithSearchTimeout bounds every search-type request (/search, /keyword,
+// /hybrid, /debug/trace) to d: the request context gets a deadline, the
+// search pipeline cooperatively truncates when it expires, and the response
+// carries the partial ranking with "truncated": true. d <= 0 leaves
+// requests unbounded (the default).
+func WithSearchTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithMaxInFlight admits at most n search-type requests concurrently;
+// excess load is shed immediately with 429 Too Many Requests and a
+// Retry-After header instead of queueing into memory. n <= 0 disables
+// shedding (the default).
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		} else {
+			s.sem = nil
+		}
+	}
+}
+
 // New wraps a configured system.
 func New(sys *thetis.System, opts ...Option) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), reg: obs.Default}
@@ -68,10 +109,10 @@ func New(sys *thetis.System, opts ...Option) *Server {
 	s.handle("GET", "/healthz", s.handleHealth)
 	s.handle("GET", "/stats", s.handleStats)
 	s.handle("GET", "/tables/{id}", s.handleTable)
-	s.handle("POST", "/search", s.handleSearch)
-	s.handle("POST", "/keyword", s.handleKeyword)
-	s.handle("POST", "/hybrid", s.handleHybrid)
-	s.handle("GET", "/debug/trace", s.handleTrace)
+	s.handle("POST", "/search", s.guard("/search", s.handleSearch))
+	s.handle("POST", "/keyword", s.guard("/keyword", s.handleKeyword))
+	s.handle("POST", "/hybrid", s.guard("/hybrid", s.handleHybrid))
+	s.handle("GET", "/debug/trace", s.guard("/debug/trace", s.handleTrace))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if s.pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -113,6 +154,53 @@ func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
 	})
 }
 
+// errBusy is the 429 body when the in-flight limit sheds a request.
+var errBusy = errors.New("server at capacity, retry later")
+
+// guard wraps a search-type handler with the request lifecycle: semaphore
+// admission (shed with 429 + Retry-After when full), the in-flight gauge,
+// and the per-request deadline. After the handler returns, the context's
+// fate feeds the timeout/cancellation counters. The instrumentation of
+// handle() stays outermost, so sheds are counted as requests and errors.
+func (s *Server) guard(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	shed := obs.HTTPShedTotal(s.reg, pattern)
+	timeouts := obs.HTTPTimeoutsTotal(s.reg, pattern)
+	cancels := obs.HTTPCancellationsTotal(s.reg, pattern)
+	inflight := obs.HTTPInFlight(s.reg)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, errBusy)
+				return
+			}
+		}
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.testHookRequest != nil {
+			s.testHookRequest(r)
+		}
+		h(w, r)
+		switch ctx.Err() {
+		case context.DeadlineExceeded:
+			timeouts.Inc()
+		case context.Canceled:
+			cancels.Inc()
+		}
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -142,6 +230,11 @@ type SearchResponse struct {
 	Candidates int `json:"candidates,omitempty"`
 	// TookMicros is the server-side search duration.
 	TookMicros int64 `json:"took_us"`
+	// Truncated marks a search cut short by the per-request deadline (or a
+	// client cancellation): Results is the correctly ranked prefix of
+	// tables scored before the cutoff — the well-formed timeout response,
+	// not an error.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -219,11 +312,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, stats := s.sys.SearchStats(q, req.K)
+	results, stats := s.sys.SearchStatsContext(r.Context(), q, req.K)
 	resp := SearchResponse{
 		Results:    make([]SearchResult, len(results)),
 		Candidates: stats.Candidates,
 		TookMicros: stats.TotalTime.Microseconds(),
+		Truncated:  stats.Truncated,
 	}
 	for i, res := range results {
 		resp.Results[i] = SearchResult{
@@ -270,7 +364,7 @@ func (s *Server) handleHybrid(w http.ResponseWriter, r *http.Request) {
 	if keywords == "" {
 		keywords = strings.NewReplacer("|", " ", ";", " ", "\n", " ").Replace(req.Query)
 	}
-	ids := s.sys.HybridSearch(q, keywords, req.K)
+	ids := s.sys.HybridSearchContext(r.Context(), q, keywords, req.K)
 	resp := SearchResponse{Results: make([]SearchResult, len(ids))}
 	for i, id := range ids {
 		resp.Results[i] = SearchResult{Table: int(id), Name: s.sys.Table(id).Name}
@@ -308,12 +402,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, stats := s.sys.SearchStats(q, k)
+	results, stats := s.sys.SearchStatsContext(r.Context(), q, k)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"trace":      stats.Trace,
 		"candidates": stats.Candidates,
 		"scored":     stats.Scored,
 		"results":    len(results),
+		"truncated":  stats.Truncated,
 	})
 }
 

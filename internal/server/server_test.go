@@ -14,8 +14,10 @@ import (
 	"thetis"
 )
 
-func demoServer(t *testing.T, opts ...Option) *httptest.Server {
-	t.Helper()
+// demoSystem builds the miniature baseball system shared by the endpoint,
+// fuzz, and lifecycle tests. testing.TB so fuzz targets can call it too.
+func demoSystem(tb testing.TB) *thetis.System {
+	tb.Helper()
 	g := thetis.NewGraph()
 	triples := `
 <onto/BaseballPlayer> <rdfs:subClassOf> <onto/Athlete> .
@@ -28,7 +30,7 @@ func demoServer(t *testing.T, opts ...Option) *httptest.Server {
 <res/cubs>  <rdfs:label> "Chicago Cubs" .
 `
 	if err := thetis.LoadTriples(g, strings.NewReader(triples)); err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
 	sys := thetis.New(g)
 	linker := thetis.NewDictionaryLinker(g)
@@ -42,8 +44,12 @@ func demoServer(t *testing.T, opts ...Option) *httptest.Server {
 	sys.AddTable(other)
 	sys.UseTypeSimilarity()
 	sys.BuildKeywordIndex()
+	return sys
+}
 
-	ts := httptest.NewServer(New(sys, opts...))
+func demoServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(demoSystem(t), opts...))
 	t.Cleanup(ts.Close)
 	return ts
 }

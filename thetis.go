@@ -23,6 +23,7 @@
 package thetis
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
@@ -298,8 +299,15 @@ func (s *System) UseCombinedSimilarity(typeWeight, embeddingWeight float64) {
 // retries. It returns the results together with the (possibly relaxed)
 // query that produced them.
 func (s *System) RelaxedSearch(q Query, k, minResults int, minScore float64) ([]Result, Query) {
+	return s.RelaxedSearchContext(context.Background(), q, k, minResults, minScore)
+}
+
+// RelaxedSearchContext is RelaxedSearch honoring cancellation: each round's
+// search is truncatable and no new relaxation round starts once ctx is
+// dead.
+func (s *System) RelaxedSearchContext(ctx context.Context, q Query, k, minResults int, minScore float64) ([]Result, Query) {
 	s.mustEngine()
-	return s.engine.RelaxedSearch(q, core.RelaxOptions{K: k, MinResults: minResults, MinScore: minScore})
+	return s.engine.RelaxedSearchContext(ctx, q, core.RelaxOptions{K: k, MinResults: minResults, MinScore: minScore})
 }
 
 // UsePredicateSimilarity configures σ as the Jaccard of the directional
@@ -385,6 +393,15 @@ func (s *System) Search(q Query, k int) []Result {
 	return res
 }
 
+// SearchContext is Search honoring cancellation and deadlines: the LSEI
+// probe/vote loop and the scoring workers check ctx cooperatively, so an
+// expiring deadline returns promptly with the correctly ranked prefix of
+// tables scored so far (SearchStatsContext exposes the Truncated marker).
+func (s *System) SearchContext(ctx context.Context, q Query, k int) []Result {
+	res, _ := s.SearchStatsContext(ctx, q, k)
+	return res
+}
+
 // SearchStats is Search returning timing statistics as well. When the
 // prefilter yields no candidates at all (e.g. every query entity's types
 // were dropped by the frequent-type filter), the search falls back to a
@@ -396,23 +413,35 @@ func (s *System) Search(q Query, k int) []Result {
 // (Stats.TotalTime remains engine-only, the quantity of the paper's
 // Table 3).
 func (s *System) SearchStats(q Query, k int) ([]Result, SearchStats) {
+	return s.SearchStatsContext(context.Background(), q, k)
+}
+
+// SearchStatsContext is SearchStats honoring cancellation and deadlines.
+// When ctx dies mid-search the results are a best-effort, correctly ranked
+// subset and Stats.Truncated is set — graceful degradation, not an error.
+func (s *System) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
 	s.mustEngine()
 	if s.index == nil {
-		return s.engine.Search(q, k)
+		return s.engine.SearchContext(ctx, q, k)
 	}
 	start := time.Now()
 	pre := obs.NewTrace("prefilter")
-	cands := s.index.CandidatesTraced(q, s.votes, pre)
+	cands := s.index.CandidatesTracedContext(ctx, q, s.votes, pre)
 	var (
 		results []Result
 		stats   SearchStats
 	)
 	if len(cands) > 0 {
-		results, stats = s.engine.SearchCandidates(q, cands, k)
+		results, stats = s.engine.SearchCandidatesContext(ctx, q, cands, k)
 	} else {
 		// Keep the empty prefilter's stages so the trace shows why the
 		// search degraded to a full scan.
-		results, stats = s.engine.Search(q, k)
+		results, stats = s.engine.SearchContext(ctx, q, k)
+	}
+	if ctx.Err() != nil {
+		// A prefilter cut short also truncates the search, even when the
+		// scoring phase over the partial candidate set happened to finish.
+		stats.Truncated = true
 	}
 	stats.Trace.Prepend(pre.Stages...)
 	stats.Trace.Total = time.Since(start)
@@ -448,9 +477,15 @@ func (s *System) KeywordSearch(text string, k int) []TableID {
 // the configuration the paper finds best for recall — up to 5.4× over
 // keyword search alone.
 func (s *System) HybridSearch(q Query, keywords string, k int) []TableID {
+	return s.HybridSearchContext(context.Background(), q, keywords, k)
+}
+
+// HybridSearchContext is HybridSearch honoring cancellation on its semantic
+// half (the BM25 half is index-lookup fast and runs to completion).
+func (s *System) HybridSearchContext(ctx context.Context, q Query, keywords string, k int) []TableID {
 	s.mustEngine()
 	s.mustKeyword()
-	sem, _ := s.SearchStats(q, k)
+	sem, _ := s.SearchStatsContext(ctx, q, k)
 	semIDs := make([]int, len(sem))
 	for i, r := range sem {
 		semIDs[i] = int(r.Table)
