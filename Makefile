@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench fuzz
+.PHONY: all build test race vet fmt check bench fuzz faults
 
 all: check
 
@@ -32,7 +32,13 @@ check: fmt vet build race
 # as a fast regression suite. Live exploration happens in CI and via
 # `go test -fuzz <Target> <pkg>`.
 fuzz:
-	$(GO) test -run '^Fuzz' ./internal/bm25 ./internal/kg ./internal/server
+	$(GO) test -run '^Fuzz' ./internal/bm25 ./internal/core ./internal/kg ./internal/lsh ./internal/server
+
+# Fault-injection and corruption-matrix suite (docs/RELIABILITY.md): every
+# test named Corrupt* or Fault* — single-byte snapshot flips, truncations,
+# injected device errors, contained panics.
+faults:
+	$(GO) test -run '^Test(Corrupt|Fault)' ./...
 
 # Paper-table benchmarks (bench_test.go); pass BENCH=<regex> to narrow.
 BENCH ?= .

@@ -20,6 +20,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,7 +30,7 @@ import (
 	"time"
 
 	"thetis"
-	"thetis/internal/table"
+	"thetis/internal/atomicio"
 )
 
 func main() {
@@ -66,29 +67,41 @@ func runIndex(args []string) {
 	embFile := fs.String("embfile", "", "embeddings file (for -sim embeddings)")
 	vectors := fs.Int("vectors", 30, "LSH permutations/projections")
 	band := fs.Int("band", 10, "LSH band size")
+	lenient, budget, maxLine := ingestFlags(fs)
 	fs.Parse(args)
 
-	sys := loadSystem(*kgPath, *corpusPath)
-	configureSimilarity(sys, *sim, *embFile)
-	log.Println("building LSEI…")
 	cfg := thetis.DefaultIndexConfig()
 	cfg.Vectors = *vectors
 	cfg.BandSize = *band
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "thetis index: invalid flags: %v\n", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	sys := loadSystem(*kgPath, *corpusPath, *lenient, *budget, *maxLine)
+	configureSimilarity(sys, *sim, *embFile)
+	log.Println("building LSEI…")
 	sys.BuildIndex(cfg)
 
-	f, err := os.Create(*out)
+	// The snapshot is written atomically (temp file + rename) so a crash
+	// mid-write can never leave a half-written index at -out; loads verify
+	// checksums regardless.
+	err := atomicio.WriteFileAtomic(*out, func(w io.Writer) error {
+		return sys.SaveIndex(w)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	if err := sys.SaveIndex(w); err != nil {
-		log.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
 	log.Printf("wrote %s", *out)
+}
+
+// ingestFlags registers the shared lenient-ingestion flags.
+func ingestFlags(fs *flag.FlagSet) (lenient *bool, budget, maxLine *int) {
+	lenient = fs.Bool("lenient", false, "skip malformed KG lines and corpus tables instead of aborting")
+	budget = fs.Int("budget", 1000, "max records lenient ingestion may quarantine before giving up (-1 = unlimited)")
+	maxLine = fs.Int("max-line", 0, "max bytes per KG/corpus line (0 = 16 MiB default)")
+	return
 }
 
 // configureSimilarity applies the -sim/-embfile flags to a system.
@@ -166,15 +179,25 @@ func runEmbed(args []string) {
 	log.Printf("wrote %s", *out)
 }
 
-// loadSystem reads the KG and corpus into a System.
-func loadSystem(kgPath, corpusPath string) *thetis.System {
+// loadSystem reads the KG and corpus into a System. With lenient set,
+// malformed lines and tables are quarantined (up to budget) and a summary
+// is logged instead of aborting the load.
+func loadSystem(kgPath, corpusPath string, lenient bool, budget, maxLine int) *thetis.System {
+	report := thetis.NewIngestReport()
 	g := thetis.NewGraph()
 	kf, err := os.Open(kgPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer kf.Close()
-	if err := thetis.LoadTriples(g, bufio.NewReader(kf)); err != nil {
+	err = thetis.LoadTriplesOpts(g, bufio.NewReader(kf), thetis.LoadOptions{
+		Lenient:      lenient,
+		MaxLineBytes: maxLine,
+		ErrorBudget:  budget,
+		Source:       kgPath,
+		Quarantine:   report.Triples,
+	})
+	if err != nil {
 		log.Fatalf("loading KG: %v", err)
 	}
 
@@ -184,18 +207,24 @@ func loadSystem(kgPath, corpusPath string) *thetis.System {
 		log.Fatal(err)
 	}
 	defer cf.Close()
-	jr := table.NewJSONReader(g, bufio.NewReaderSize(cf, 1<<20))
-	n := 0
-	for {
-		t, err := jr.Next()
-		if err == io.EOF {
-			break
+	if _, err := sys.IngestCorpus(bufio.NewReaderSize(cf, 1<<20), thetis.IngestOptions{
+		Lenient:      lenient,
+		MaxLineBytes: maxLine,
+		ErrorBudget:  budget,
+		Source:       corpusPath,
+		Report:       report,
+	}); err != nil {
+		log.Fatalf("corpus: %v", err)
+	}
+	if lenient {
+		_, tSkip := report.Triples.Counts()
+		_, cSkip := report.Tables.Counts()
+		if tSkip+cSkip > 0 {
+			log.Printf("lenient ingest: quarantined %d triples and %d tables", tSkip, cSkip)
+			for _, rec := range append(report.Triples.Records(), report.Tables.Records()...) {
+				log.Printf("  %s:%d: %s", rec.Source, rec.Line, rec.Reason)
+			}
 		}
-		if err != nil {
-			log.Fatalf("corpus table %d: %v", n, err)
-		}
-		sys.AddTable(t)
-		n++
 	}
 	return sys
 }
@@ -204,9 +233,10 @@ func runStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	kgPath := fs.String("kg", "bench/kg.nt", "knowledge graph triples file")
 	corpusPath := fs.String("corpus", "bench/corpus.jsonl", "corpus JSONL file")
+	lenient, budget, maxLine := ingestFlags(fs)
 	fs.Parse(args)
 
-	sys := loadSystem(*kgPath, *corpusPath)
+	sys := loadSystem(*kgPath, *corpusPath, *lenient, *budget, *maxLine)
 	g := sys.Graph()
 	fmt.Printf("knowledge graph: %v\n", g)
 	fmt.Printf("corpus: %s\n", sys.Stats())
@@ -225,12 +255,18 @@ func runSearch(args []string) {
 	votes := fs.Int("votes", 1, "LSH vote threshold")
 	hybrid := fs.Bool("hybrid", false, "complement with BM25 keyword search")
 	timeout := fs.Duration("timeout", 0, "search deadline; an expiring search prints the partial ranking (0 disables)")
+	lenient, budget, maxLine := ingestFlags(fs)
 	fs.Parse(args)
 
 	if *queryText == "" {
 		log.Fatal("search: -query is required")
 	}
-	sys := loadSystem(*kgPath, *corpusPath)
+	if *votes < 1 {
+		fmt.Fprintf(os.Stderr, "thetis search: invalid flags: -votes must be >= 1 (got %d)\n", *votes)
+		fs.Usage()
+		os.Exit(2)
+	}
+	sys := loadSystem(*kgPath, *corpusPath, *lenient, *budget, *maxLine)
 	configureSimilarity(sys, *sim, *embFile)
 	switch {
 	case *indexFile != "":
@@ -241,6 +277,9 @@ func runSearch(args []string) {
 		err = sys.LoadIndex(bufio.NewReader(f))
 		f.Close()
 		if err != nil {
+			if errors.Is(err, atomicio.ErrCorruptSnapshot) {
+				log.Fatalf("index %s is corrupt (%v); rebuild it with `thetis index`", *indexFile, err)
+			}
 			log.Fatalf("loading index: %v", err)
 		}
 		sys.SetVotes(*votes)

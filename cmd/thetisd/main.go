@@ -2,7 +2,9 @@
 // internal/server for the API).
 //
 //	thetisd -kg bench/kg.nt -corpus bench/corpus.jsonl -addr :8080 \
-//	        [-sim types|embeddings] [-embfile embeddings.bin] [-lsh] [-votes 3] \
+//	        [-sim types|embeddings] [-embfile embeddings.bin] \
+//	        [-lsh] [-votes 3] [-vectors 30] [-band 10] [-indexfile index.bin] \
+//	        [-lenient-ingest] [-ingest-budget N] [-max-line BYTES] \
 //	        [-timeout 10s] [-max-inflight 64] [-drain 30s] [-pprof]
 //
 // Request lifecycle: every search-type request runs under -timeout (an
@@ -10,6 +12,14 @@
 // -max-inflight searches execute concurrently (excess load is shed with
 // 429 + Retry-After), and SIGINT/SIGTERM trigger a graceful shutdown that
 // drains in-flight queries for up to -drain before exiting.
+//
+// Fault tolerance (docs/RELIABILITY.md): -lenient-ingest skips malformed
+// KG lines and corpus tables — quarantining up to -ingest-budget of them,
+// inspectable on GET /debug/ingest — instead of refusing to start. With
+// -lsh the daemon serves immediately, brute-force, while the LSEI builds
+// in the background; -indexfile loads a checksummed snapshot instead, and
+// a corrupt snapshot is rejected (never loaded wrong) with the same
+// degraded-then-rebuild fallback. GET /readyz reports the index lifecycle.
 //
 // Operational endpoints (docs/OBSERVABILITY.md): GET /metrics exposes
 // Prometheus-format counters and latency histograms, GET /debug/trace
@@ -21,7 +31,7 @@ import (
 	"bufio"
 	"context"
 	"flag"
-	"io"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -31,7 +41,6 @@ import (
 
 	"thetis"
 	"thetis/internal/server"
-	"thetis/internal/table"
 )
 
 func main() {
@@ -43,15 +52,51 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	sim := flag.String("sim", "types", "similarity: types | embeddings")
 	embFile := flag.String("embfile", "", "embeddings file (for -sim embeddings)")
-	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering (30,10)")
+	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering")
 	votes := flag.Int("votes", 3, "LSH vote threshold")
+	vectors := flag.Int("vectors", 30, "LSH permutations/projections")
+	band := flag.Int("band", 10, "LSH band size")
+	indexFile := flag.String("indexfile", "", "load a checksummed LSEI snapshot instead of building (rebuilds in background if corrupt)")
+	lenient := flag.Bool("lenient-ingest", false, "skip malformed KG lines and corpus tables instead of aborting (see /debug/ingest)")
+	budget := flag.Int("ingest-budget", 1000, "max records lenient ingestion may quarantine before giving up (-1 = unlimited)")
+	maxLine := flag.Int("max-line", 0, "max bytes per KG/corpus line (0 = 16 MiB default)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request search deadline; expiring searches return partial results (0 disables)")
 	maxInflight := flag.Int("max-inflight", 8*runtime.GOMAXPROCS(0), "max concurrent search requests before shedding with 429 (0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight requests (0 waits forever)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	sys := load(*kgPath, *corpusPath)
+	// Validate flag-derived index parameters up front: a bad -vectors/-band
+	// combination is a usage error, not a mid-flight panic.
+	cfg := thetis.DefaultIndexConfig()
+	cfg.Vectors = *vectors
+	cfg.BandSize = *band
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *votes < 1 {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -votes must be >= 1 (got %d)\n", *votes)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	report := thetis.NewIngestReport()
+	sys := load(*kgPath, *corpusPath, thetis.IngestOptions{
+		Lenient:      *lenient,
+		MaxLineBytes: *maxLine,
+		ErrorBudget:  *budget,
+		Report:       report,
+	})
+	if *lenient {
+		tOK, tSkip := report.Triples.Counts()
+		cOK, cSkip := report.Tables.Counts()
+		if tSkip+cSkip > 0 {
+			log.Printf("lenient ingest: quarantined %d/%d triples and %d/%d tables (details on /debug/ingest)",
+				tSkip, tOK+tSkip, cSkip, cOK+cSkip)
+		}
+	}
 	switch *sim {
 	case "types":
 		sys.UseTypeSimilarity()
@@ -64,7 +109,7 @@ func main() {
 			err = sys.LoadEmbeddings(bufio.NewReader(f))
 			f.Close()
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("loading embeddings %s: %v", *embFile, err)
 			}
 		} else {
 			log.Println("training embeddings…")
@@ -74,17 +119,42 @@ func main() {
 	default:
 		log.Fatalf("unknown similarity %q", *sim)
 	}
-	if *useLSH {
-		log.Println("building LSEI…")
-		sys.BuildIndex(thetis.DefaultIndexConfig())
-		sys.SetVotes(*votes)
-	}
 	log.Println("building keyword index…")
 	sys.BuildKeywordIndex()
 
 	opts := []server.Option{
 		server.WithSearchTimeout(*timeout),
 		server.WithMaxInFlight(*maxInflight),
+		server.WithIngestReport(report),
+	}
+	var ready *server.Readiness
+	if *useLSH {
+		// Serve immediately — brute force while the index builds in the
+		// background (or loads from a snapshot), then hot-swap.
+		ready = server.NewReadiness(nil)
+		opts = append(opts, server.WithReadiness(ready))
+		var snapshot *os.File
+		if *indexFile != "" {
+			f, err := os.Open(*indexFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			snapshot = f
+		}
+		if snapshot != nil {
+			done := server.ActivateIndex(sys, ready, cfg, *votes, bufio.NewReader(snapshot))
+			snapshot.Close()
+			// A rejected snapshot parks the state at degraded before the
+			// background rebuild starts; surface that in the log so disk
+			// corruption is not hidden behind a successful rebuild.
+			if state, detail, _ := ready.Snapshot(); state == server.StateDegraded {
+				log.Printf("%s: %s", *indexFile, detail)
+			}
+			go logActivation(ready, done)
+		} else {
+			done := server.ActivateIndex(sys, ready, cfg, *votes, nil)
+			go logActivation(ready, done)
+		}
 	}
 	if *withPprof {
 		opts = append(opts, server.WithPprof())
@@ -101,16 +171,38 @@ func main() {
 	log.Println("drained in-flight queries, shut down cleanly")
 }
 
-func load(kgPath, corpusPath string) *thetis.System {
+// logActivation reports the index lifecycle outcome without blocking
+// startup.
+func logActivation(ready *server.Readiness, done <-chan error) {
+	if err := <-done; err != nil {
+		log.Printf("index activation failed: %v (still serving, brute force)", err)
+		return
+	}
+	_, detail, _ := ready.Snapshot()
+	log.Printf("index ready: %s", detail)
+}
+
+func load(kgPath, corpusPath string, opts thetis.IngestOptions) *thetis.System {
 	g := thetis.NewGraph()
 	kf, err := os.Open(kgPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := thetis.LoadTriples(g, bufio.NewReader(kf)); err != nil {
-		log.Fatalf("loading KG: %v", err)
+	var tq *thetis.Quarantine
+	if opts.Report != nil {
+		tq = opts.Report.Triples
 	}
+	err = thetis.LoadTriplesOpts(g, bufio.NewReader(kf), thetis.LoadOptions{
+		Lenient:      opts.Lenient,
+		MaxLineBytes: opts.MaxLineBytes,
+		ErrorBudget:  opts.ErrorBudget,
+		Source:       kgPath,
+		Quarantine:   tq,
+	})
 	kf.Close()
+	if err != nil {
+		log.Fatalf("loading KG %s: %v", kgPath, err)
+	}
 
 	sys := thetis.New(g)
 	cf, err := os.Open(corpusPath)
@@ -118,16 +210,9 @@ func load(kgPath, corpusPath string) *thetis.System {
 		log.Fatal(err)
 	}
 	defer cf.Close()
-	jr := table.NewJSONReader(g, bufio.NewReaderSize(cf, 1<<20))
-	for {
-		t, err := jr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			log.Fatalf("corpus: %v", err)
-		}
-		sys.AddTable(t)
+	opts.Source = corpusPath
+	if _, err := sys.IngestCorpus(bufio.NewReaderSize(cf, 1<<20), opts); err != nil {
+		log.Fatalf("corpus %s: %v", corpusPath, err)
 	}
 	return sys
 }

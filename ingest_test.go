@@ -1,0 +1,153 @@
+package thetis
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusFixture builds a JSONL corpus of good table lines plus the same
+// lines with malformed ones (~10%) spliced in, returning both streams and
+// the number of injected faults.
+func corpusFixture() (clean, dirty string, faults int) {
+	var good []string
+	for i := 0; i < 9; i++ {
+		player, team := "res/Ron_Santo", "res/Chicago_Cubs"
+		pv, tv := "Ron Santo", "Chicago Cubs"
+		if i%3 == 1 {
+			player, team = "res/Mitch_Stetter", "res/Milwaukee_Brewers"
+			pv, tv = "Mitch Stetter", "Milwaukee Brewers"
+		}
+		if i%3 == 2 {
+			player, team = "res/Vera_Volley", "res/Milwaukee_Brewers"
+			pv, tv = "Vera Volley", "Milwaukee Brewers"
+		}
+		good = append(good, fmt.Sprintf(
+			`{"name":"t%d","attributes":["Player","Team"],"rows":[[{"v":"%s","e":"%s"},{"v":"%s","e":"%s"}]]}`,
+			i, pv, player, tv, team))
+	}
+	bad := []string{
+		`{"name":"broken-json","attributes":["Player"],"rows":[[{"v":`,
+		`{"name":"bad-arity","attributes":["Player","Team"],"rows":[[{"v":"orphan","e":"res/Never_Interned"}]]}`,
+	}
+	var dirtyLines []string
+	for i, g := range good {
+		dirtyLines = append(dirtyLines, g)
+		// Splice a malformed line after every 4th good one: 2 faults in 11
+		// lines, ≈ the acceptance criterion's 10% malformed corpus.
+		if i%4 == 3 && len(bad) > 0 {
+			dirtyLines = append(dirtyLines, bad[0])
+			bad = bad[1:]
+			faults++
+		}
+	}
+	return strings.Join(good, "\n") + "\n", strings.Join(dirtyLines, "\n") + "\n", faults
+}
+
+const ingestKG = `
+<onto/BaseballPlayer> <rdfs:subClassOf> <onto/Athlete> .
+<onto/VolleyballPlayer> <rdfs:subClassOf> <onto/Athlete> .
+<res/Ron_Santo> <rdf:type> <onto/BaseballPlayer> .
+<res/Ron_Santo> <rdfs:label> "Ron Santo" .
+<res/Mitch_Stetter> <rdf:type> <onto/BaseballPlayer> .
+<res/Mitch_Stetter> <rdfs:label> "Mitch Stetter" .
+<res/Vera_Volley> <rdf:type> <onto/VolleyballPlayer> .
+<res/Vera_Volley> <rdfs:label> "Vera Volley" .
+<res/Chicago_Cubs> <rdf:type> <onto/BaseballTeam> .
+<res/Chicago_Cubs> <rdfs:label> "Chicago Cubs" .
+<res/Milwaukee_Brewers> <rdf:type> <onto/BaseballTeam> .
+<res/Milwaukee_Brewers> <rdfs:label> "Milwaukee Brewers" .
+`
+
+func ingestSystem(t *testing.T, corpus string, opts IngestOptions) (*System, int) {
+	t.Helper()
+	g := NewGraph()
+	if err := LoadTriples(g, strings.NewReader(ingestKG)); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(g)
+	n, err := sys.IngestCorpus(strings.NewReader(corpus), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.UseTypeSimilarity()
+	return sys, n
+}
+
+// TestLenientIngestEquivalence is the lenient-ingest acceptance criterion:
+// a lenient load of a ~10% malformed corpus quarantines exactly the injected
+// faults, and searching the survivors returns exactly what a strict load of
+// the clean subset returns.
+func TestLenientIngestEquivalence(t *testing.T) {
+	clean, dirty, faults := corpusFixture()
+
+	report := NewIngestReport()
+	dirtySys, dirtyN := ingestSystem(t, dirty, IngestOptions{
+		Lenient: true, ErrorBudget: -1, Source: "dirty.jsonl", Report: report,
+	})
+	cleanSys, cleanN := ingestSystem(t, clean, IngestOptions{})
+
+	if dirtyN != cleanN {
+		t.Fatalf("lenient ingested %d tables, clean subset has %d", dirtyN, cleanN)
+	}
+	ok, skipped := report.Tables.Counts()
+	if skipped != int64(faults) || ok != int64(cleanN) {
+		t.Fatalf("quarantine counts = (%d ok, %d skipped), want (%d, %d)", ok, skipped, cleanN, faults)
+	}
+	// Rejected tables never intern entities: both graphs are the same size.
+	if dirtySys.Graph().NumEntities() != cleanSys.Graph().NumEntities() {
+		t.Errorf("entities: lenient %d != clean %d (quarantined table polluted the graph)",
+			dirtySys.Graph().NumEntities(), cleanSys.Graph().NumEntities())
+	}
+
+	for _, text := range []string{"Ron Santo | Chicago Cubs", "Mitch Stetter | Milwaukee Brewers"} {
+		q, err := dirtySys.ParseQuery(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dirtySys.Search(q, -1)
+		want := cleanSys.Search(q, -1)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("query %q: lenient-dirty results differ from strict-clean:\n got %v\nwant %v", text, got, want)
+		}
+	}
+
+	// The /debug/ingest summary carries the same numbers.
+	sum := report.Summary()
+	if sum["tables"].Skipped != int64(faults) || len(sum["tables"].Samples) != faults {
+		t.Errorf("summary = %+v", sum["tables"])
+	}
+}
+
+// TestStrictIngestAborts: the default (strict) ingestion still fails fast on
+// the first malformed table.
+func TestStrictIngestAborts(t *testing.T) {
+	_, dirty, _ := corpusFixture()
+	g := NewGraph()
+	if err := LoadTriples(g, strings.NewReader(ingestKG)); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(g)
+	if _, err := sys.IngestCorpus(strings.NewReader(dirty), IngestOptions{}); err == nil {
+		t.Fatal("strict ingest of a malformed corpus succeeded")
+	}
+}
+
+// TestLenientIngestWithIndex: an LSEI built over a leniently ingested corpus
+// prefilters the same searches as one built over the clean subset.
+func TestLenientIngestWithIndex(t *testing.T) {
+	clean, dirty, _ := corpusFixture()
+	dirtySys, _ := ingestSystem(t, dirty, IngestOptions{Lenient: true, ErrorBudget: -1})
+	cleanSys, _ := ingestSystem(t, clean, IngestOptions{})
+	cfg := IndexConfig{Vectors: 16, BandSize: 4, Seed: 1}
+	dirtySys.BuildIndex(cfg)
+	cleanSys.BuildIndex(cfg)
+	q, err := dirtySys.ParseQuery("Ron Santo | Chicago Cubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dirtySys.Search(q, 5), cleanSys.Search(q, 5); !reflect.DeepEqual(got, want) {
+		t.Errorf("indexed search over lenient corpus differs:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"thetis/internal/atomicio"
+	"thetis/internal/faultio"
+)
+
+// Corruption matrix for the LSEI snapshot format (acceptance criterion of
+// the fault-tolerant data plane): flipping ANY single byte of a snapshot, or
+// truncating it at ANY prefix, must make the loader return
+// atomicio.ErrCorruptSnapshot — never a wrong-but-loaded index, never a
+// panic. Run with `make faults`.
+
+func TestCorruptTypeLSEIEveryByteFlip(t *testing.T) {
+	x, l, g := typeLSEI(t, LSEIConfig{Vectors: 16, BandSize: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	sim := NewTypeJaccard(g)
+	if _, err := LoadTypeLSEI(l, sim, bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for off := range data {
+		fr := faultio.NewFlipReader(bytes.NewReader(data), int64(off), 0x01)
+		if _, err := LoadTypeLSEI(l, sim, fr); !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+			t.Fatalf("byte %d flipped: got %v, want ErrCorruptSnapshot", off, err)
+		}
+	}
+}
+
+func TestCorruptEmbeddingLSEIEveryByteFlip(t *testing.T) {
+	l, _, ec := embeddingFixture(t)
+	x := BuildEmbeddingLSEI(l, ec, 4, LSEIConfig{Vectors: 16, BandSize: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadEmbeddingLSEI(l, ec, bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for off := range data {
+		fr := faultio.NewFlipReader(bytes.NewReader(data), int64(off), 0x80)
+		if _, err := LoadEmbeddingLSEI(l, ec, fr); !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+			t.Fatalf("byte %d flipped: got %v, want ErrCorruptSnapshot", off, err)
+		}
+	}
+}
+
+func TestCorruptLSEIEveryTruncation(t *testing.T) {
+	x, l, g := typeLSEI(t, LSEIConfig{Vectors: 16, BandSize: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	sim := NewTypeJaccard(g)
+	for n := 0; n < len(data); n++ {
+		sr := faultio.NewShortReader(bytes.NewReader(data), int64(n))
+		if _, err := LoadTypeLSEI(l, sim, sr); !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrCorruptSnapshot", n, len(data), err)
+		}
+	}
+}
+
+// TestCorruptLSEIKindMismatch: an INTACT type snapshot fed to the embedding
+// loader is a usage error (plain, not ErrCorruptSnapshot — the checksums
+// verified fine); a FLIPPED kind byte is corruption and is covered by the
+// every-byte-flip matrices above. Either way: an error, never a wrong load.
+func TestCorruptLSEIKindMismatch(t *testing.T) {
+	x, l, _ := typeLSEI(t, LSEIConfig{Vectors: 16, BandSize: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ec := embeddingFixture(t)
+	if _, err := LoadEmbeddingLSEI(l, ec, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("type snapshot accepted by embedding loader")
+	} else if errors.Is(err, atomicio.ErrCorruptSnapshot) {
+		t.Fatalf("intact wrong-kind snapshot misreported as corrupt: %v", err)
+	}
+}
+
+// TestFaultLSEIWriteFailure: a device error mid-write surfaces from Write
+// instead of producing a silently truncated snapshot.
+func TestFaultLSEIWriteFailure(t *testing.T) {
+	x, _, _ := typeLSEI(t, LSEIConfig{Vectors: 16, BandSize: 4, Seed: 1})
+	var full bytes.Buffer
+	if err := x.Write(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int64{0, 1, int64(full.Len()) / 2, int64(full.Len()) - 1} {
+		var buf bytes.Buffer
+		fw := faultio.NewFailingWriter(&buf, off, nil)
+		if err := x.Write(fw); !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("write failing at byte %d: got %v, want ErrInjected", off, err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+// poisonSimilarity panics whenever a chosen entity is scored, modeling a
+// similarity structure corrupted for one entity (e.g. an out-of-range ID
+// from a damaged embeddings file).
+type poisonSimilarity struct {
+	inner  Similarity
+	poison kg.EntityID
+}
+
+func (p poisonSimilarity) Score(a, b kg.EntityID) float64 {
+	if a == p.poison || b == p.poison {
+		panic("poisoned entity scored")
+	}
+	return p.inner.Score(a, b)
+}
+
+// TestFaultSearchPanicContained: a panic while scoring one table is
+// contained — that table is dropped and counted on Stats.Panicked, every
+// other table is still ranked, and the process (whose scoring runs in
+// worker goroutines, outside net/http's recovery) survives.
+func TestFaultSearchPanicContained(t *testing.T) {
+	l, g := fixtureLake(t)
+	stetter, ok := g.Lookup("stetter")
+	if !ok {
+		t.Fatal("fixture entity stetter missing")
+	}
+	eng := NewEngine(l, poisonSimilarity{inner: NewTypeJaccard(g), poison: stetter})
+	q := queryOf(t, g, "santo", "cubs")
+
+	results, stats := eng.Search(q, -1)
+	// Tables 0 and 1 contain stetter and are dropped by the contained
+	// panic; the volleyball and cities tables still rank.
+	if stats.Panicked != 2 {
+		t.Errorf("Stats.Panicked = %d, want 2", stats.Panicked)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results survived a partial poisoning")
+	}
+	for _, r := range results {
+		if r.Table == 0 || r.Table == 1 {
+			t.Errorf("poisoned table %d present in results", r.Table)
+		}
+	}
+
+	// A clean engine on the same lake is unaffected (the panic counter and
+	// containment are per-search).
+	clean := NewEngine(l, NewTypeJaccard(g))
+	cr, cs := clean.Search(q, -1)
+	if cs.Panicked != 0 {
+		t.Errorf("clean search Panicked = %d", cs.Panicked)
+	}
+	if len(cr) <= len(results) {
+		t.Errorf("clean search found %d tables, poisoned %d", len(cr), len(results))
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -45,6 +47,29 @@ type LSEIConfig struct {
 // DefaultLSEIConfig returns the paper's recommended (30, 10) configuration.
 func DefaultLSEIConfig() LSEIConfig {
 	return LSEIConfig{Vectors: 30, BandSize: 10, FrequentTypeThreshold: 0.5, Seed: 1}
+}
+
+// maxVectors bounds the accepted signature length — far above the paper's
+// largest configuration (128) but low enough to reject corrupt or absurd
+// parameters before they drive huge allocations.
+const maxVectors = 1 << 20
+
+// Validate rejects configurations that would make index construction panic
+// or behave nonsensically: a band size outside [1, Vectors] (the lsh.NewIndex
+// panic), non-positive vector counts, or a frequent-type threshold outside
+// [0, 1]. Callers deriving a config from flags or snapshot headers should
+// validate before building.
+func (cfg LSEIConfig) Validate() error {
+	if cfg.Vectors < 1 || cfg.Vectors > maxVectors {
+		return fmt.Errorf("core: LSEI vectors must be in [1, %d], got %d", maxVectors, cfg.Vectors)
+	}
+	if cfg.BandSize < 1 || cfg.BandSize > cfg.Vectors {
+		return fmt.Errorf("core: LSEI band size must be in [1, vectors=%d], got %d", cfg.Vectors, cfg.BandSize)
+	}
+	if math.IsNaN(cfg.FrequentTypeThreshold) || cfg.FrequentTypeThreshold < 0 || cfg.FrequentTypeThreshold > 1 {
+		return fmt.Errorf("core: frequent-type threshold must be in [0, 1], got %v", cfg.FrequentTypeThreshold)
+	}
+	return nil
 }
 
 // LSEI prefilters the table search space: querying it with the entities of

@@ -8,7 +8,7 @@ import (
 	"thetis/internal/lake"
 )
 
-func typeLSEI(t *testing.T, cfg LSEIConfig) (*LSEI, *lake.Lake, *kg.Graph) {
+func typeLSEI(t testing.TB, cfg LSEIConfig) (*LSEI, *lake.Lake, *kg.Graph) {
 	t.Helper()
 	l, g := fixtureLake(t)
 	tj := NewTypeJaccard(g)
@@ -106,7 +106,7 @@ func TestFrequentTypeFilter(t *testing.T) {
 	}
 }
 
-func embeddingFixture(t *testing.T) (*lake.Lake, *kg.Graph, *EmbeddingCosine) {
+func embeddingFixture(t testing.TB) (*lake.Lake, *kg.Graph, *EmbeddingCosine) {
 	t.Helper()
 	l, g := fixtureLake(t)
 	store := embedding.NewStore(g.NumEntities(), 4)

@@ -23,6 +23,7 @@ var (
 	mStageRank    = obs.SearchStageSeconds("rank")
 	mCandidates   = obs.SearchCandidates()
 	mTruncated    = obs.SearchTruncatedTotal()
+	mSearchPanics = obs.PanicsTotal(nil, "search")
 )
 
 func kgEntity(x uint32) kg.EntityID { return kg.EntityID(x) }
@@ -80,6 +81,11 @@ type Stats struct {
 	// a best-effort subset: every table that was scored before the cutoff,
 	// correctly ranked — graceful degradation, not an error.
 	Truncated bool
+	// Panicked counts candidate tables whose scoring panicked (poisoned
+	// data reaching a σ or aggregation). Each panic is contained to its
+	// table — recovered, counted on thetis_panics_total{site="search"}, and
+	// excluded from the results — instead of crashing the process.
+	Panicked int
 	// Trace is the structured per-stage breakdown of this search
 	// (mapping → score → rank, with prefilter probe/vote stages prepended
 	// by System.SearchStats when an LSEI is active). Always non-nil on
@@ -148,8 +154,22 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 	}
 
 	type partial struct {
-		results []Result
-		mapping time.Duration
+		results  []Result
+		mapping  time.Duration
+		panicked int
+	}
+	// scoreOne contains a panic to the table that caused it: scoring worker
+	// goroutines are outside any net/http recovery, so an uncontained panic
+	// here would kill the whole process.
+	scoreOne := func(sc *scorer, tid lake.TableID) (score float64, mt time.Duration, panicked bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				mSearchPanics.Inc()
+			}
+		}()
+		score, mt = sc.scoreTable(eng.Lake.Table(tid))
+		return
 	}
 	parts := make([]partial, workers)
 	var wg sync.WaitGroup
@@ -181,8 +201,14 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 					default:
 					}
 				}
-				score, mt := sc.scoreTable(eng.Lake.Table(tid))
+				score, mt, panicked := scoreOne(sc, tid)
 				parts[w].mapping += mt
+				if panicked {
+					parts[w].panicked++
+					// The scorer's caches may be mid-update; rebuild it.
+					sc = newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
+					continue
+				}
 				if score > 0 {
 					parts[w].results = append(parts[w].results, Result{Table: tid, Score: score})
 				}
@@ -196,6 +222,7 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 	for _, p := range parts {
 		results = append(results, p.results...)
 		stats.MappingTime += p.mapping
+		stats.Panicked += p.panicked
 	}
 	stats.Truncated = truncated.Load()
 	if stats.Truncated {

@@ -12,7 +12,7 @@ import (
 
 // fixtureLake assembles a miniature version of Figure 1b: baseball tables,
 // a volleyball table, and a cities table, all linked against fixtureGraph.
-func fixtureLake(t *testing.T) (*lake.Lake, *kg.Graph) {
+func fixtureLake(t testing.TB) (*lake.Lake, *kg.Graph) {
 	t.Helper()
 	g := fixtureGraph()
 	l := lake.New(g)
@@ -55,7 +55,7 @@ func fixtureLake(t *testing.T) (*lake.Lake, *kg.Graph) {
 	return l, g
 }
 
-func queryOf(t *testing.T, g *kg.Graph, uris ...string) Query {
+func queryOf(t testing.TB, g *kg.Graph, uris ...string) Query {
 	t.Helper()
 	tuple := make(Tuple, len(uris))
 	for i, u := range uris {

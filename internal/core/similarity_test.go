@@ -70,7 +70,7 @@ func fixtureGraph() *kg.Graph {
 	return g
 }
 
-func ent(t *testing.T, g *kg.Graph, uri string) kg.EntityID {
+func ent(t testing.TB, g *kg.Graph, uri string) kg.EntityID {
 	t.Helper()
 	e, ok := g.Lookup(uri)
 	if !ok {

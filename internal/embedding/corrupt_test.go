@@ -1,0 +1,94 @@
+package embedding
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"thetis/internal/faultio"
+	"thetis/internal/kg"
+)
+
+func storeFixture(t *testing.T) []byte {
+	t.Helper()
+	s := NewStore(8, 4)
+	s.Set(kg.EntityID(1), Vector{1, 2, 3, 4})
+	s.Set(kg.EntityID(5), Vector{-1, 0.5, 0, 9})
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorruptStoreEveryTruncation: a store truncated at any prefix (a
+// crashed writer) must fail with a descriptive error, never panic or return
+// a store silently missing vectors it claims to have.
+func TestCorruptStoreEveryTruncation(t *testing.T) {
+	data := storeFixture(t)
+	if _, err := ReadStore(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine store rejected: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := ReadStore(faultio.NewShortReader(bytes.NewReader(data), int64(n))); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(data))
+		}
+	}
+}
+
+// TestCorruptStoreShapeFlips: corrupt header shapes and entity IDs must be
+// rejected with record context instead of crashing the Set fast path, which
+// used to panic on a dim mismatch.
+func TestCorruptStoreShapeFlips(t *testing.T) {
+	le := binary.LittleEndian
+
+	// Implausible entity count (flipped high byte).
+	data := storeFixture(t)
+	le.PutUint32(data[4:], 1<<31)
+	if _, err := ReadStore(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("implausible entity count: %v", err)
+	}
+
+	// Implausible dimension.
+	data = storeFixture(t)
+	le.PutUint32(data[8:], 1<<30)
+	if _, err := ReadStore(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("implausible dim: %v", err)
+	}
+
+	// Individually plausible count and dim whose product overflows the
+	// arena cap.
+	data = storeFixture(t)
+	le.PutUint32(data[4:], 1<<27)
+	le.PutUint32(data[8:], 1<<15)
+	if _, err := ReadStore(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("arena overflow shape: %v", err)
+	}
+
+	// First record's entity ID pushed out of range: the error names the
+	// record so operators can locate the damage.
+	data = storeFixture(t)
+	le.PutUint32(data[12:], 7000)
+	if _, err := ReadStore(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "record 0") {
+		t.Errorf("out-of-range entity: %v", err)
+	}
+
+	// Bad magic.
+	data = storeFixture(t)
+	data[0] ^= 0xFF
+	if _, err := ReadStore(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+}
+
+// TestFaultStoreReadError: a device error mid-read surfaces instead of
+// hanging or panicking.
+func TestFaultStoreReadError(t *testing.T) {
+	data := storeFixture(t)
+	for _, off := range []int64{0, 3, 11, 13, int64(len(data)) / 2} {
+		if _, err := ReadStore(faultio.NewFailingReader(bytes.NewReader(data), off, nil)); err == nil {
+			t.Fatalf("device error at byte %d ignored", off)
+		}
+	}
+}

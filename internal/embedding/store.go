@@ -102,33 +102,50 @@ func (s *Store) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadStore deserializes a store written by Write.
+// Plausibility caps for deserialized store shapes. They reject corrupt
+// headers before the arena allocation, so a flipped byte in a dimension or
+// entity count produces a descriptive error instead of an out-of-memory
+// crash. 256M entities × 64K dims both sit far above any trained store.
+const (
+	maxStoreEntities = 1 << 28
+	maxStoreDim      = 1 << 16
+	maxStoreFloats   = 1 << 30 // arena cap: 4 GiB of float32
+)
+
+// ReadStore deserializes a store written by Write. It is safe on corrupt
+// or truncated input: structural damage — a bad magic, implausible header
+// shape, out-of-range entity ID, or truncation mid-record — returns an
+// error naming the offending record, never a panic or unbounded
+// allocation.
 func ReadStore(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
 	var magic, n, dim uint32
 	for _, p := range []*uint32{&magic, &n, &dim} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("embedding: truncated store header: %w", err)
 		}
 	}
 	if magic != storeMagic {
 		return nil, fmt.Errorf("embedding: bad magic %#x", magic)
 	}
+	if n > maxStoreEntities || dim > maxStoreDim || uint64(n)*uint64(dim) > maxStoreFloats {
+		return nil, fmt.Errorf("embedding: implausible store shape: %d entities × %d dims", n, dim)
+	}
 	s := NewStore(int(n), int(dim))
 	buf := make(Vector, dim)
-	for {
+	for rec := 0; ; rec++ {
 		var id uint32
 		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("embedding: record %d: truncated before terminator: %w", rec, err)
 		}
 		if id == ^uint32(0) {
 			return s, nil
 		}
 		if id >= n {
-			return nil, fmt.Errorf("embedding: entity %d out of range %d", id, n)
+			return nil, fmt.Errorf("embedding: record %d: entity %d out of range %d", rec, id, n)
 		}
 		if err := binary.Read(br, binary.LittleEndian, []float32(buf)); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("embedding: record %d (entity %d): truncated vector: %w", rec, id, err)
 		}
 		s.Set(kg.EntityID(id), buf)
 	}

@@ -1,8 +1,11 @@
 package kg
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"thetis/internal/atomicio"
 )
 
 // FuzzLoadTriples: the loader must never panic and must either error or
@@ -52,5 +55,60 @@ func FuzzParseTripleLine(f *testing.F) {
 		_ = s
 		_ = p
 		_ = o
+	})
+}
+
+// FuzzLoadTriplesLenient: lenient loading must never panic, never error
+// with an unlimited budget, and must build exactly the graph a strict load
+// of the input's well-formed lines builds (the quarantine-equivalence
+// invariant). Seeds live in testdata/fuzz/FuzzLoadTriplesLenient.
+func FuzzLoadTriplesLenient(f *testing.F) {
+	f.Add("<a> <b> <c> .")
+	f.Add("<a> <rdf:type> <T> .\ngarbage line\n<b> <rdf:type> <T> .")
+	f.Add("<a <b> <c> .\n<a> <b> \"unterminated")
+	f.Add("# comment\n\n\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, input string) {
+		const maxLine = 1 << 16
+		lenient := NewGraph()
+		err := LoadTriplesOpts(lenient, strings.NewReader(input), LoadOptions{
+			Lenient: true, ErrorBudget: -1, MaxLineBytes: maxLine,
+		})
+		if err != nil {
+			t.Fatalf("lenient load with unlimited budget errored: %v", err)
+		}
+		// Rebuild the clean subset with the loader's own line discipline:
+		// keep exactly the lines a strict load accepts.
+		var clean []string
+		lr := atomicio.NewLineReader(strings.NewReader(input), maxLine)
+		for {
+			raw, _, tooLong, lerr := lr.Next()
+			if lerr != nil {
+				break
+			}
+			if tooLong {
+				continue
+			}
+			line := strings.TrimSpace(string(raw))
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if _, _, _, perr := parseTripleLine(line); perr == nil {
+				clean = append(clean, string(raw))
+			}
+		}
+		strict := NewGraph()
+		if err := LoadTriples(strict, strings.NewReader(strings.Join(clean, "\n"))); err != nil {
+			t.Fatalf("strict load of the clean subset errored: %v", err)
+		}
+		var a, b bytes.Buffer
+		if err := WriteTriples(lenient, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTriples(strict, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("lenient graph != strict clean-subset graph\nlenient:\n%s\nstrict:\n%s", a.String(), b.String())
+		}
 	})
 }

@@ -1,0 +1,129 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thetis/internal/obs"
+)
+
+const cleanTriples = `<e/santo> <rdf:type> <t/player> .
+<e/santo> <rdfs:label> "Ron Santo" .
+<e/cubs> <rdf:type> <t/team> .
+<e/santo> <p/playsFor> <e/cubs> .
+<t/player> <rdfs:subClassOf> <t/agent> .
+`
+
+const dirtyTriples = `<e/santo> <rdf:type> <t/player> .
+<e/santo <rdfs:label> "broken subject" .
+<e/santo> <rdfs:label> "Ron Santo" .
+<e/cubs> <rdf:type>
+<e/cubs> <rdf:type> <t/team> .
+just some garbage text with no structure at all that is long
+<e/santo> <p/playsFor> <e/cubs> .
+<t/player> <rdfs:subClassOf> <t/agent> .
+`
+
+// dirtyBadLines is the number of malformed lines injected above.
+const dirtyBadLines = 3
+
+func TestLenientLoadQuarantinesCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := obs.NewQuarantine(reg, "triples")
+	g := NewGraph()
+	err := LoadTriplesOpts(g, strings.NewReader(dirtyTriples), LoadOptions{
+		Lenient:     true,
+		ErrorBudget: -1,
+		Source:      "dirty.nt",
+		Quarantine:  q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, skipped := q.Counts()
+	if skipped != dirtyBadLines {
+		t.Errorf("skipped = %d, want %d", skipped, dirtyBadLines)
+	}
+	if ok != 5 {
+		t.Errorf("ok = %d, want 5", ok)
+	}
+	recs := q.Records()
+	if len(recs) != dirtyBadLines {
+		t.Fatalf("records = %d, want %d", len(recs), dirtyBadLines)
+	}
+	// Records carry source, line number, and a sample for debugging.
+	if recs[0].Source != "dirty.nt" || recs[0].Line != 2 || recs[0].Sample == "" {
+		t.Errorf("first record = %+v", recs[0])
+	}
+}
+
+// TestLenientLoadEquivalence is the lenient-ingest acceptance criterion:
+// loading a dirty stream leniently builds exactly the graph a strict load of
+// its clean subset builds.
+func TestLenientLoadEquivalence(t *testing.T) {
+	dirty := NewGraph()
+	if err := LoadTriplesOpts(dirty, strings.NewReader(dirtyTriples), LoadOptions{Lenient: true, ErrorBudget: -1}); err != nil {
+		t.Fatal(err)
+	}
+	clean := NewGraph()
+	if err := LoadTriples(clean, strings.NewReader(cleanTriples)); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteTriples(dirty, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTriples(clean, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("lenient-dirty graph differs from strict-clean graph:\n--- lenient ---\n%s--- strict ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestLenientLoadBudgetExceeded(t *testing.T) {
+	g := NewGraph()
+	err := LoadTriplesOpts(g, strings.NewReader(dirtyTriples), LoadOptions{Lenient: true, ErrorBudget: 1})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("budget of 1 with %d bad lines: err = %v", dirtyBadLines, err)
+	}
+}
+
+func TestStrictLoadStillAborts(t *testing.T) {
+	g := NewGraph()
+	err := LoadTriples(g, strings.NewReader(dirtyTriples))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("strict load of dirty stream: err = %v", err)
+	}
+}
+
+func TestOverlongLine(t *testing.T) {
+	long := "<e/a> <p/x> \"" + strings.Repeat("y", 4096) + "\" .\n"
+	input := "<e/a> <rdf:type> <t/z> .\n" + long + "<e/b> <rdf:type> <t/z> .\n"
+
+	// Strict: error naming the line.
+	g := NewGraph()
+	err := LoadTriplesOpts(g, strings.NewReader(input), LoadOptions{MaxLineBytes: 256})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("strict over-long line: err = %v", err)
+	}
+
+	// Lenient: quarantined, later lines still load.
+	reg := obs.NewRegistry()
+	q := obs.NewQuarantine(reg, "triples")
+	g = NewGraph()
+	err = LoadTriplesOpts(g, strings.NewReader(input), LoadOptions{
+		Lenient: true, MaxLineBytes: 256, ErrorBudget: -1, Quarantine: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, skipped := q.Counts()
+	if ok != 2 || skipped != 1 {
+		t.Errorf("counts = (%d ok, %d skipped), want (2, 1)", ok, skipped)
+	}
+	if g.NumEntities() != 2 {
+		t.Errorf("entities = %d, want 2", g.NumEntities())
+	}
+}

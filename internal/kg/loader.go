@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"thetis/internal/atomicio"
+	"thetis/internal/obs"
 )
 
 // Well-known predicate URIs recognized by the triple loader. They mirror the
@@ -15,6 +18,33 @@ const (
 	PredSubClassOf = "rdfs:subClassOf"
 )
 
+// DefaultMaxLineBytes is the default limit on a single triple line. Real
+// N-Triples lines are short; the cap only guards against unbounded memory on
+// binary garbage fed to the loader.
+const DefaultMaxLineBytes = 16 << 20
+
+// LoadOptions configures LoadTriplesOpts. The zero value is strict loading
+// with the default line cap — identical to LoadTriples.
+type LoadOptions struct {
+	// Lenient skips malformed lines (recording them in Quarantine) instead
+	// of aborting on the first one.
+	Lenient bool
+	// MaxLineBytes caps a single line's length; 0 means
+	// DefaultMaxLineBytes. Strict mode errors on an over-long line; lenient
+	// mode quarantines it and continues with the next line.
+	MaxLineBytes int
+	// ErrorBudget bounds how many lines lenient mode may quarantine before
+	// giving up on the stream; negative means unlimited, and 0 (the zero
+	// value) quarantines nothing — effectively strict with reporting.
+	ErrorBudget int
+	// Source names the stream in quarantine records (e.g. the file path).
+	Source string
+	// Quarantine receives skipped-line records and accept/skip counts. May
+	// be nil; lenient mode then drops records silently but still counts
+	// against ErrorBudget internally.
+	Quarantine *obs.Quarantine
+}
+
 // LoadTriples reads a whitespace-separated triple stream (an N-Triples
 // subset) into g. Each non-empty, non-comment line has the form
 //
@@ -24,21 +54,67 @@ const (
 // gives rdf:type, rdfs:label, and rdfs:subClassOf their schema meaning and
 // records every other predicate as a relation edge. Terms whose predicate is
 // rdf:type create types; plain objects create entities.
+//
+// LoadTriples is strict: the first malformed line aborts the load. Use
+// LoadTriplesOpts with Lenient for quarantine-based loading of dirty
+// corpora.
 func LoadTriples(g *Graph, r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lineNo := 0
-	// Types may be labeled or placed in the taxonomy; remember which URIs
-	// were used as types so rdfs:label and rdfs:subClassOf can target them.
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return LoadTriplesOpts(g, r, LoadOptions{})
+}
+
+// LoadTriplesOpts is LoadTriples with explicit strictness, line-length, and
+// quarantine configuration. In lenient mode malformed or over-long lines
+// are skipped and recorded instead of aborting, up to opts.ErrorBudget;
+// well-formed lines load exactly as in strict mode, so a lenient load of a
+// dirty corpus builds the same graph as a strict load of its clean subset.
+func LoadTriplesOpts(g *Graph, r io.Reader, opts LoadOptions) error {
+	maxLine := opts.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+	lr := atomicio.NewLineReader(r, maxLine)
+	skipped := 0
+	// quarantine records one lenient skip; it returns an error only when
+	// the budget is blown.
+	quarantine := func(lineNo int, reason, sample string) error {
+		skipped++
+		opts.Quarantine.Skip(opts.Source, lineNo, reason, sample)
+		if opts.ErrorBudget >= 0 && skipped > opts.ErrorBudget {
+			return fmt.Errorf("line %d: ingest error budget exceeded: %d lines quarantined (budget %d), last: %s",
+				lineNo, skipped, opts.ErrorBudget, reason)
+		}
+		return nil
+	}
+	for {
+		raw, lineNo, tooLong, err := lr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if tooLong {
+			if !opts.Lenient {
+				return fmt.Errorf("line %d: line exceeds %d bytes", lineNo, maxLine)
+			}
+			if serr := quarantine(lineNo, fmt.Sprintf("line exceeds %d bytes", maxLine), string(raw[:min(len(raw), 64)])); serr != nil {
+				return serr
+			}
+			continue
+		}
+		line := strings.TrimSpace(string(raw))
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		s, p, o, err := parseTripleLine(line)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
+		s, p, o, perr := parseTripleLine(line)
+		if perr != nil {
+			if !opts.Lenient {
+				return fmt.Errorf("line %d: %w", lineNo, perr)
+			}
+			if serr := quarantine(lineNo, perr.Error(), line); serr != nil {
+				return serr
+			}
+			continue
 		}
 		switch p {
 		case PredType:
@@ -63,8 +139,8 @@ func LoadTriples(g *Graph, r io.Reader) error {
 			pred := g.AddPredicate(p)
 			g.AddEdge(sub, pred, obj)
 		}
+		opts.Quarantine.Accept()
 	}
-	return sc.Err()
 }
 
 // parseTripleLine splits one triple line into subject, predicate, object.

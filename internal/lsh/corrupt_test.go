@@ -1,0 +1,129 @@
+package lsh
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"thetis/internal/atomicio"
+	"thetis/internal/faultio"
+)
+
+// Corruption matrix for the LSH component serializers: flipping ANY single
+// byte of a serialized component, or truncating it at ANY prefix, must make
+// its reader return atomicio.ErrCorruptSnapshot — never a silently wrong
+// component, never a panic. Run with `make faults`.
+
+func serializedComponents(t *testing.T) map[string]struct {
+	data []byte
+	read func(io.Reader) (any, error)
+} {
+	t.Helper()
+	m := NewMinHasher(16, 7)
+	h := NewHyperplaneHasher(8, 4, 3)
+	ix := NewIndex(16, 4)
+	ix.Insert(10, m.Signature([]uint64{1, 2, 3}))
+	ix.Insert(20, m.Signature([]uint64{500, 600}))
+
+	out := make(map[string]struct {
+		data []byte
+		read func(io.Reader) (any, error)
+	})
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out["MinHasher"] = struct {
+		data []byte
+		read func(io.Reader) (any, error)
+	}{bytes.Clone(buf.Bytes()), func(r io.Reader) (any, error) { return ReadMinHasher(r) }}
+
+	buf.Reset()
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out["HyperplaneHasher"] = struct {
+		data []byte
+		read func(io.Reader) (any, error)
+	}{bytes.Clone(buf.Bytes()), func(r io.Reader) (any, error) { return ReadHyperplaneHasher(r) }}
+
+	buf.Reset()
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out["Index"] = struct {
+		data []byte
+		read func(io.Reader) (any, error)
+	}{bytes.Clone(buf.Bytes()), func(r io.Reader) (any, error) { return ReadIndex(r) }}
+	return out
+}
+
+func TestCorruptComponentEveryByteFlip(t *testing.T) {
+	for name, c := range serializedComponents(t) {
+		t.Run(name, func(t *testing.T) {
+			// Sanity: the pristine bytes load.
+			if _, err := c.read(bytes.NewReader(c.data)); err != nil {
+				t.Fatalf("pristine component rejected: %v", err)
+			}
+			for off := range c.data {
+				for _, mask := range []byte{0x01, 0x80} {
+					fr := faultio.NewFlipReader(bytes.NewReader(c.data), int64(off), mask)
+					_, err := c.read(fr)
+					if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+						t.Fatalf("byte %d ^ %#x: got %v, want ErrCorruptSnapshot", off, mask, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCorruptComponentEveryTruncation(t *testing.T) {
+	for name, c := range serializedComponents(t) {
+		t.Run(name, func(t *testing.T) {
+			for n := 0; n < len(c.data); n++ {
+				_, err := c.read(faultio.NewShortReader(bytes.NewReader(c.data), int64(n)))
+				if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+					t.Fatalf("prefix of %d/%d bytes: got %v, want ErrCorruptSnapshot", n, len(c.data), err)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultComponentReadError: a device error mid-read surfaces as a
+// corruption error (the stream cannot be validated), not a hang or panic.
+func TestFaultComponentReadError(t *testing.T) {
+	for name, c := range serializedComponents(t) {
+		t.Run(name, func(t *testing.T) {
+			_, err := c.read(faultio.NewFailingReader(bytes.NewReader(c.data), int64(len(c.data)/2), nil))
+			if err == nil {
+				t.Fatal("mid-read device error ignored")
+			}
+		})
+	}
+}
+
+func TestNewIndexChecked(t *testing.T) {
+	if _, err := NewIndexChecked(16, 0); err == nil {
+		t.Error("band size 0 accepted")
+	}
+	if _, err := NewIndexChecked(16, -1); err == nil {
+		t.Error("negative band size accepted")
+	}
+	if _, err := NewIndexChecked(4, 8); err == nil {
+		t.Error("band size > permutations accepted")
+	}
+	ix, err := NewIndexChecked(16, 4)
+	if err != nil || ix == nil || ix.Bands() != 4 {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+	// NewIndex keeps its panicking contract for programmer errors.
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIndex(4, 8) did not panic")
+		}
+	}()
+	NewIndex(4, 8)
+}

@@ -1,0 +1,38 @@
+package lsh
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"thetis/internal/atomicio"
+)
+
+// FuzzReadIndex: the index deserializer must never panic or allocate
+// unboundedly on arbitrary bytes; every rejection is the typed
+// ErrCorruptSnapshot. Seeds live in testdata/fuzz/FuzzReadIndex.
+func FuzzReadIndex(f *testing.F) {
+	m := NewMinHasher(16, 2)
+	ix := NewIndex(16, 4)
+	ix.Insert(1, m.Signature([]uint64{42}))
+	ix.Insert(2, m.Signature([]uint64{7, 9}))
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4]) // checksum torn off
+	f.Add(valid[:3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+				t.Fatalf("non-typed read error: %v", err)
+			}
+			return
+		}
+		_ = back.QuerySet(m.Signature([]uint64{42}))
+	})
+}

@@ -13,6 +13,7 @@ package lsh
 import (
 	"context"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sync/atomic"
@@ -192,17 +193,31 @@ type Index struct {
 // NewIndex creates an index for signatures of length permutations, divided
 // into bands of bandSize values. The trailing remainder of a signature that
 // does not fill a whole band is ignored, mirroring the (30,10) setup where
-// 30 values form exactly 3 bands.
+// 30 values form exactly 3 bands. It panics on out-of-range parameters;
+// code handling untrusted configuration (CLI flags, snapshot headers)
+// should use NewIndexChecked instead.
 func NewIndex(permutations, bandSize int) *Index {
+	ix, err := NewIndexChecked(permutations, bandSize)
+	if err != nil {
+		panic(err.Error())
+	}
+	return ix
+}
+
+// NewIndexChecked is NewIndex returning an error instead of panicking when
+// the band size is outside [1, permutations] — the validating constructor
+// for parameters derived from flags or deserialized headers.
+func NewIndexChecked(permutations, bandSize int) (*Index, error) {
 	if bandSize <= 0 || permutations < bandSize {
-		panic("lsh: band size must be in [1, permutations]")
+		return nil, fmt.Errorf("lsh: band size must be in [1, permutations]: got permutations=%d bandSize=%d",
+			permutations, bandSize)
 	}
 	bands := permutations / bandSize
 	ix := &Index{bandSize: bandSize, bands: bands, buckets: make([]map[uint64][]uint32, bands)}
 	for i := range ix.buckets {
 		ix.buckets[i] = make(map[uint64][]uint32)
 	}
-	return ix
+	return ix, nil
 }
 
 // Bands returns the number of band groups.

@@ -3,13 +3,18 @@ package lsh
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
+
+	"thetis/internal/atomicio"
 )
 
 // Binary serialization for hashers and indexes, so a built LSEI can be
 // persisted and reloaded instead of re-hashing a whole corpus at startup.
-// The format is little-endian with small magic headers per component.
+// The format is little-endian with a small magic header per component, and
+// every component is sealed with a CRC32C section checksum of its own bytes
+// (magic included): a flipped bit anywhere in a serialized component makes
+// its reader return atomicio.ErrCorruptSnapshot instead of a silently wrong
+// index. The full wire layout is documented in docs/RELIABILITY.md.
 
 const (
 	magicMinHash = uint32(0x544D4831) // "TMH1"
@@ -17,8 +22,21 @@ const (
 	magicIndex   = uint32(0x54495831) // "TIX1"
 )
 
+// Plausibility caps for decoded shape fields. They bound allocations driven
+// by corrupt counts (a flipped high byte must produce ErrCorruptSnapshot,
+// not an out-of-memory crash) and sit far above any configuration the paper
+// sweeps (at most 128 permutations / projections).
+const (
+	maxPermutations = 1 << 20
+	maxDim          = 1 << 20
+	maxBands        = 1 << 16
+	// allocHint caps the capacity pre-allocated from a decoded count;
+	// larger collections grow by append, bounded by the actual stream.
+	allocHint = 1 << 20
+)
+
 type countingWriter struct {
-	w *bufio.Writer
+	w io.Writer
 }
 
 func (cw countingWriter) u32(v uint32) error { return binary.Write(cw.w, binary.LittleEndian, v) }
@@ -42,7 +60,9 @@ func (rd reader) u64() (uint64, error) {
 
 // Write serializes the hasher's permutation parameters.
 func (m *MinHasher) Write(w io.Writer) error {
-	bw := countingWriter{bufio.NewWriter(w)}
+	buf := bufio.NewWriter(w)
+	cw := atomicio.NewCRCWriter(buf)
+	bw := countingWriter{cw}
 	if err := bw.u32(magicMinHash); err != nil {
 		return err
 	}
@@ -57,85 +77,109 @@ func (m *MinHasher) Write(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.w.Flush()
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	return buf.Flush()
 }
 
 // ReadMinHasher deserializes a hasher written by Write. It reads exactly
 // the hasher's bytes from r, so several components may share one stream.
+// Any malformed input — bad magic, implausible shape, truncation, or a
+// checksum mismatch — returns atomicio.ErrCorruptSnapshot.
 func ReadMinHasher(r io.Reader) (*MinHasher, error) {
-	rd := reader{r}
+	cr := atomicio.NewCRCReader(r)
+	rd := reader{cr}
 	magic, err := rd.u32()
 	if err != nil {
-		return nil, err
+		return nil, atomicio.Corruptf("lsh: reading MinHasher magic: %v", err)
 	}
 	if magic != magicMinHash {
-		return nil, fmt.Errorf("lsh: bad MinHasher magic %#x", magic)
+		return nil, atomicio.Corruptf("lsh: bad MinHasher magic %#x", magic)
 	}
 	n, err := rd.u32()
 	if err != nil {
-		return nil, err
+		return nil, atomicio.Corruptf("lsh: reading MinHasher size: %v", err)
+	}
+	if n == 0 || n > maxPermutations {
+		return nil, atomicio.Corruptf("lsh: implausible MinHasher permutation count %d", n)
 	}
 	m := &MinHasher{a: make([]uint64, n), b: make([]uint64, n)}
 	for i := uint32(0); i < n; i++ {
 		if m.a[i], err = rd.u64(); err != nil {
-			return nil, err
+			return nil, atomicio.Corruptf("lsh: reading MinHasher permutation %d: %v", i, err)
 		}
 		if m.b[i], err = rd.u64(); err != nil {
-			return nil, err
+			return nil, atomicio.Corruptf("lsh: reading MinHasher permutation %d: %v", i, err)
 		}
+	}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
 // Write serializes the projection planes.
 func (h *HyperplaneHasher) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, magicHyper); err != nil {
+	buf := bufio.NewWriter(w)
+	cw := atomicio.NewCRCWriter(buf)
+	if err := binary.Write(cw, binary.LittleEndian, magicHyper); err != nil {
 		return err
 	}
 	header := []uint32{uint32(len(h.planes)), uint32(h.dim)}
 	for _, v := range header {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
 	for _, p := range h.planes {
-		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, p); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	return buf.Flush()
 }
 
 // ReadHyperplaneHasher deserializes a hasher written by Write. It reads
-// exactly the hasher's bytes from r.
+// exactly the hasher's bytes from r, and returns
+// atomicio.ErrCorruptSnapshot on any malformed input.
 func ReadHyperplaneHasher(r io.Reader) (*HyperplaneHasher, error) {
-	br := r
+	cr := atomicio.NewCRCReader(r)
 	var magic, n, dim uint32
 	for _, p := range []*uint32{&magic, &n, &dim} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, atomicio.Corruptf("lsh: reading HyperplaneHasher header: %v", err)
 		}
 	}
 	if magic != magicHyper {
-		return nil, fmt.Errorf("lsh: bad HyperplaneHasher magic %#x", magic)
+		return nil, atomicio.Corruptf("lsh: bad HyperplaneHasher magic %#x", magic)
+	}
+	if n == 0 || n > maxPermutations || dim == 0 || dim > maxDim {
+		return nil, atomicio.Corruptf("lsh: implausible HyperplaneHasher shape projections=%d dim=%d", n, dim)
 	}
 	h := &HyperplaneHasher{dim: int(dim), planes: make([][]float32, n)}
 	for i := range h.planes {
 		p := make([]float32, dim)
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, atomicio.Corruptf("lsh: reading projection plane %d: %v", i, err)
 		}
 		h.planes[i] = p
+	}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
 	}
 	return h, nil
 }
 
 // Write serializes the banded bucket index.
 func (ix *Index) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	u32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
-	u64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	buf := bufio.NewWriter(w)
+	cw := atomicio.NewCRCWriter(buf)
+	u32 := func(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
+	u64 := func(v uint64) error { return binary.Write(cw, binary.LittleEndian, v) }
 	if err := u32(magicIndex); err != nil {
 		return err
 	}
@@ -163,56 +207,67 @@ func (ix *Index) Write(w io.Writer) error {
 			}
 		}
 	}
-	return bw.Flush()
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	return buf.Flush()
 }
 
 // ReadIndex deserializes an index written by Write. It reads exactly the
-// index's bytes from r.
+// index's bytes from r, and returns atomicio.ErrCorruptSnapshot on any
+// malformed input — truncation, implausible shapes, or checksum mismatch —
+// never a wrong-but-loaded index.
 func ReadIndex(r io.Reader) (*Index, error) {
-	rd := reader{r}
+	cr := atomicio.NewCRCReader(r)
+	rd := reader{cr}
 	magic, err := rd.u32()
 	if err != nil {
-		return nil, err
+		return nil, atomicio.Corruptf("lsh: reading Index magic: %v", err)
 	}
 	if magic != magicIndex {
-		return nil, fmt.Errorf("lsh: bad Index magic %#x", magic)
+		return nil, atomicio.Corruptf("lsh: bad Index magic %#x", magic)
 	}
 	bandSize, err := rd.u32()
 	if err != nil {
-		return nil, err
+		return nil, atomicio.Corruptf("lsh: reading Index band size: %v", err)
 	}
 	bands, err := rd.u32()
 	if err != nil {
-		return nil, err
+		return nil, atomicio.Corruptf("lsh: reading Index band count: %v", err)
 	}
-	if bandSize == 0 || bands == 0 || bands > 1<<16 {
-		return nil, fmt.Errorf("lsh: implausible index shape bands=%d bandSize=%d", bands, bandSize)
+	if bandSize == 0 || bandSize > maxPermutations || bands == 0 || bands > maxBands {
+		return nil, atomicio.Corruptf("lsh: implausible index shape bands=%d bandSize=%d", bands, bandSize)
 	}
 	ix := &Index{bandSize: int(bandSize), bands: int(bands), buckets: make([]map[uint64][]uint32, bands)}
 	for b := range ix.buckets {
 		n, err := rd.u32()
 		if err != nil {
-			return nil, err
+			return nil, atomicio.Corruptf("lsh: reading band %d bucket count: %v", b, err)
 		}
-		m := make(map[uint64][]uint32, n)
+		m := make(map[uint64][]uint32, min(int(n), allocHint))
 		for i := uint32(0); i < n; i++ {
 			key, err := rd.u64()
 			if err != nil {
-				return nil, err
+				return nil, atomicio.Corruptf("lsh: reading band %d bucket key: %v", b, err)
 			}
 			cnt, err := rd.u32()
 			if err != nil {
-				return nil, err
+				return nil, atomicio.Corruptf("lsh: reading band %d bucket size: %v", b, err)
 			}
-			items := make([]uint32, cnt)
-			for j := range items {
-				if items[j], err = rd.u32(); err != nil {
-					return nil, err
+			items := make([]uint32, 0, min(int(cnt), allocHint))
+			for j := uint32(0); j < cnt; j++ {
+				it, err := rd.u32()
+				if err != nil {
+					return nil, atomicio.Corruptf("lsh: reading band %d bucket item: %v", b, err)
 				}
+				items = append(items, it)
 			}
 			m[key] = items
 		}
 		ix.buckets[b] = m
+	}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }

@@ -1,0 +1,173 @@
+package obs
+
+// Quarantine collects records rejected during lenient ingestion. Loaders in
+// internal/kg and internal/table skip malformed input instead of aborting,
+// and report each rejection here; the daemon exposes the aggregate on
+// GET /debug/ingest so operators can see exactly what was dropped and why.
+//
+// A nil *Quarantine is valid and drops everything silently, so strict-mode
+// code paths can share the lenient plumbing without allocating one.
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	// maxQuarantineSamples bounds the per-collector record list; skips past
+	// the cap still count but keep no sample.
+	maxQuarantineSamples = 100
+	// maxSampleBytes truncates stored input excerpts.
+	maxSampleBytes = 160
+)
+
+// QuarantineRecord describes one rejected input record.
+type QuarantineRecord struct {
+	Source string `json:"source"`           // file or logical stream name
+	Line   int    `json:"line"`             // 1-based line/record number
+	Reason string `json:"reason"`           // why it was rejected
+	Sample string `json:"sample,omitempty"` // truncated excerpt of the input
+}
+
+// Quarantine is a thread-safe collector for one ingestion kind ("triples"
+// or "tables"). It mirrors its counts onto the thetis_ingest_* metrics.
+type Quarantine struct {
+	kind string
+
+	mu      sync.Mutex
+	ok      int64
+	skipped int64
+	records []QuarantineRecord
+
+	mOK      *Counter
+	mSkipped *Counter
+}
+
+// NewQuarantine creates a collector for the given ingestion kind, wired to
+// the thetis_ingest_<kind>_{ok,skipped}_total counters on r (Default when
+// nil).
+func NewQuarantine(r *Registry, kind string) *Quarantine {
+	return &Quarantine{
+		kind:     kind,
+		mOK:      IngestOKTotal(r, kind),
+		mSkipped: IngestSkippedTotal(r, kind),
+	}
+}
+
+// Kind returns the ingestion kind ("triples", "tables").
+func (q *Quarantine) Kind() string {
+	if q == nil {
+		return ""
+	}
+	return q.kind
+}
+
+// Accept counts one successfully ingested record.
+func (q *Quarantine) Accept() {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.ok++
+	q.mu.Unlock()
+	q.mOK.Inc()
+}
+
+// Skip records one rejected record. The sample is truncated to a bounded
+// excerpt; only the first maxQuarantineSamples rejections keep one.
+func (q *Quarantine) Skip(source string, line int, reason, sample string) {
+	if q == nil {
+		return
+	}
+	if len(sample) > maxSampleBytes {
+		sample = sample[:maxSampleBytes] + "…"
+	}
+	q.mu.Lock()
+	q.skipped++
+	if len(q.records) < maxQuarantineSamples {
+		q.records = append(q.records, QuarantineRecord{
+			Source: source, Line: line, Reason: reason, Sample: sample,
+		})
+	}
+	q.mu.Unlock()
+	q.mSkipped.Inc()
+}
+
+// Counts returns the accepted and skipped record counts so far.
+func (q *Quarantine) Counts() (ok, skipped int64) {
+	if q == nil {
+		return 0, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ok, q.skipped
+}
+
+// Records returns a copy of the retained rejection samples.
+func (q *Quarantine) Records() []QuarantineRecord {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QuarantineRecord, len(q.records))
+	copy(out, q.records)
+	return out
+}
+
+// CheckBudget returns an error when more than budget records have been
+// skipped (budget < 0 means unlimited). Loaders call it after each Skip so
+// a systematically broken input aborts instead of quarantining everything.
+func (q *Quarantine) CheckBudget(budget int) error {
+	if q == nil || budget < 0 {
+		return nil
+	}
+	q.mu.Lock()
+	skipped := q.skipped
+	q.mu.Unlock()
+	if skipped > int64(budget) {
+		return fmt.Errorf("obs: ingest error budget exceeded: %d %s records quarantined (budget %d)",
+			skipped, q.kind, budget)
+	}
+	return nil
+}
+
+// QuarantineSummary is the JSON shape of one collector on /debug/ingest.
+type QuarantineSummary struct {
+	OK      int64              `json:"ok"`
+	Skipped int64              `json:"skipped"`
+	Samples []QuarantineRecord `json:"samples,omitempty"`
+}
+
+// Summary snapshots the collector for reporting.
+func (q *Quarantine) Summary() QuarantineSummary {
+	ok, skipped := q.Counts()
+	return QuarantineSummary{OK: ok, Skipped: skipped, Samples: q.Records()}
+}
+
+// IngestReport aggregates the triple and table quarantines of one corpus
+// load, for GET /debug/ingest.
+type IngestReport struct {
+	Triples *Quarantine
+	Tables  *Quarantine
+}
+
+// NewIngestReport creates a report with one collector per ingestion kind,
+// registered on r (Default when nil).
+func NewIngestReport(r *Registry) *IngestReport {
+	return &IngestReport{
+		Triples: NewQuarantine(r, "triples"),
+		Tables:  NewQuarantine(r, "tables"),
+	}
+}
+
+// Summary snapshots both collectors keyed by kind.
+func (ir *IngestReport) Summary() map[string]QuarantineSummary {
+	if ir == nil {
+		return nil
+	}
+	return map[string]QuarantineSummary{
+		"triples": ir.Triples.Summary(),
+		"tables":  ir.Tables.Summary(),
+	}
+}

@@ -85,6 +85,49 @@ func LSHItemsScannedTotal() *Counter {
 		"Items scanned from colliding buckets during LSH index queries.", nil)
 }
 
+// IngestOKTotal counts records accepted during ingestion, by kind
+// ("triples", "tables").
+func IngestOKTotal(r *Registry, kind string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_ingest_"+kind+"_ok_total",
+		"Records accepted during corpus ingestion.", nil)
+}
+
+// IngestSkippedTotal counts records quarantined by lenient ingestion, by
+// kind ("triples", "tables"). Always zero in strict mode, which aborts on
+// the first malformed record instead.
+func IngestSkippedTotal(r *Registry, kind string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_ingest_"+kind+"_skipped_total",
+		"Records quarantined by lenient corpus ingestion.", nil)
+}
+
+// IndexState gauges the prefilter lifecycle: 0 = building (no index yet),
+// 1 = degraded (snapshot rejected or build failed; serving brute force),
+// 2 = ready (LSEI active).
+func IndexState(r *Registry) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_index_state",
+		"Prefilter index state: 0 building, 1 degraded (brute force), 2 ready.", nil)
+}
+
+// PanicsTotal counts panics recovered into errors, by site ("search" for
+// scoring workers, "http" for request handlers).
+func PanicsTotal(r *Registry, site string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_panics_total",
+		"Panics recovered into errors instead of crashing the process, by site.",
+		Labels{"site": site})
+}
+
 // HTTPRequestsTotal counts requests per endpoint.
 func HTTPRequestsTotal(r *Registry, endpoint string) *Counter {
 	if r == nil {

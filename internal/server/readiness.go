@@ -1,0 +1,133 @@
+package server
+
+// Degraded-mode serving: the daemon binds its listener and answers searches
+// immediately — brute force over the whole corpus, correct but slower —
+// while the LSEI prefilter builds in the background (or after a corrupt
+// snapshot was rejected). When the build finishes, the index is hot-swapped
+// into the live System atomically and the daemon flips to ready. GET
+// /readyz reports the lifecycle so orchestrators can route bulk traffic
+// only at full capacity, while /healthz stays a pure liveness probe.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thetis"
+	"thetis/internal/obs"
+)
+
+// IndexState is the prefilter lifecycle phase reported on /readyz and the
+// thetis_index_state gauge.
+type IndexState int32
+
+const (
+	// StateBuilding: no index yet; the initial build is in progress and
+	// searches run brute force.
+	StateBuilding IndexState = iota
+	// StateDegraded: the index snapshot was rejected (corrupt) or a build
+	// failed; searches run brute force while a rebuild is attempted.
+	StateDegraded
+	// StateReady: the LSEI is active; searches are prefiltered.
+	StateReady
+)
+
+func (s IndexState) String() string {
+	switch s {
+	case StateBuilding:
+		return "building"
+	case StateDegraded:
+		return "degraded"
+	case StateReady:
+		return "ready"
+	default:
+		return fmt.Sprintf("IndexState(%d)", int32(s))
+	}
+}
+
+// Readiness tracks the index lifecycle for one daemon. It is safe for
+// concurrent use; the HTTP handlers read it while ActivateIndex's
+// background build writes it.
+type Readiness struct {
+	state atomic.Int32
+	gauge *obs.Gauge
+
+	mu     sync.Mutex
+	detail string
+	since  time.Time
+}
+
+// NewReadiness creates a tracker in the building state, mirrored on the
+// thetis_index_state gauge of r (obs.Default when nil).
+func NewReadiness(r *obs.Registry) *Readiness {
+	rd := &Readiness{gauge: obs.IndexState(r)}
+	rd.Set(StateBuilding, "index build pending")
+	return rd
+}
+
+// Set transitions the lifecycle, recording a human-readable detail.
+func (rd *Readiness) Set(state IndexState, detail string) {
+	rd.state.Store(int32(state))
+	rd.gauge.Set(float64(state))
+	rd.mu.Lock()
+	rd.detail = detail
+	rd.since = time.Now()
+	rd.mu.Unlock()
+}
+
+// State returns the current lifecycle phase.
+func (rd *Readiness) State() IndexState { return IndexState(rd.state.Load()) }
+
+// Snapshot returns the phase with its detail and transition time.
+func (rd *Readiness) Snapshot() (state IndexState, detail string, since time.Time) {
+	state = rd.State()
+	rd.mu.Lock()
+	detail, since = rd.detail, rd.since
+	rd.mu.Unlock()
+	return state, detail, since
+}
+
+// ActivateIndex brings the system's LSEI online without blocking serving.
+// A non-nil snapshot is tried first, synchronously: a valid one activates
+// immediately (ready, no build). A corrupt snapshot is rejected — the
+// typed atomicio.ErrCorruptSnapshot guarantee means a flipped byte can
+// never load wrong — and the daemon enters degraded mode while a full
+// rebuild runs in the background; with no snapshot it starts in building
+// mode the same way. The background build constructs the index aside and
+// hot-swaps it into sys atomically, then flips readiness to ready.
+//
+// The returned channel receives the terminal outcome (nil, or the build
+// panic converted to an error) exactly once. A build panic is contained:
+// counted on thetis_panics_total{site="build"}, state parked at degraded,
+// daemon still serving brute force.
+func ActivateIndex(sys *thetis.System, ready *Readiness, cfg thetis.IndexConfig, votes int, snapshot io.Reader) <-chan error {
+	done := make(chan error, 1)
+	if snapshot != nil {
+		if err := sys.LoadIndex(snapshot); err == nil {
+			sys.SetVotes(votes)
+			ready.Set(StateReady, "index loaded from snapshot")
+			done <- nil
+			return done
+		} else {
+			ready.Set(StateDegraded, fmt.Sprintf("index snapshot rejected (%v); serving brute force while rebuilding", err))
+		}
+	} else {
+		ready.Set(StateBuilding, "building index; serving brute force meanwhile")
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				obs.PanicsTotal(nil, "build").Inc()
+				ready.Set(StateDegraded, fmt.Sprintf("index build panicked: %v; serving brute force", r))
+				done <- fmt.Errorf("server: index build panicked: %v", r)
+			}
+		}()
+		sys.BuildIndex(cfg)
+		sys.SetVotes(votes)
+		ready.Set(StateReady, "index built")
+		done <- nil
+	}()
+	return done
+}

@@ -52,6 +52,8 @@ type Server struct {
 	pprof   bool
 	timeout time.Duration
 	sem     chan struct{}
+	ready   *Readiness
+	ingest  *obs.IngestReport
 
 	// testHookRequest, when set, runs inside the lifecycle guard of every
 	// search-type request — after semaphore admission and deadline
@@ -100,6 +102,21 @@ func WithMaxInFlight(n int) Option {
 	}
 }
 
+// WithReadiness mounts GET /readyz reporting the index lifecycle tracked
+// by rd (see ActivateIndex). Without it, /readyz is not served: a system
+// configured synchronously is ready whenever it is alive, and /healthz
+// already says so.
+func WithReadiness(rd *Readiness) Option {
+	return func(s *Server) { s.ready = rd }
+}
+
+// WithIngestReport mounts GET /debug/ingest serving the quarantine
+// summary of the corpus load (accepted/skipped counts plus a bounded
+// sample of rejected records).
+func WithIngestReport(ir *obs.IngestReport) Option {
+	return func(s *Server) { s.ingest = ir }
+}
+
 // New wraps a configured system.
 func New(sys *thetis.System, opts ...Option) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), reg: obs.Default}
@@ -107,6 +124,12 @@ func New(sys *thetis.System, opts ...Option) *Server {
 		opt(s)
 	}
 	s.handle("GET", "/healthz", s.handleHealth)
+	if s.ready != nil {
+		s.handle("GET", "/readyz", s.handleReady)
+	}
+	if s.ingest != nil {
+		s.handle("GET", "/debug/ingest", s.handleIngest)
+	}
 	s.handle("GET", "/stats", s.handleStats)
 	s.handle("GET", "/tables/{id}", s.handleTable)
 	s.handle("POST", "/search", s.guard("/search", s.handleSearch))
@@ -124,33 +147,64 @@ func New(sys *thetis.System, opts ...Option) *Server {
 	return s
 }
 
-// statusWriter captures the response status for the error counter.
+// statusWriter captures the response status for the error counter, and
+// whether anything was written yet (so panic recovery knows if a 500 can
+// still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // handle mounts an instrumented handler: per-endpoint request count, error
 // count (status >= 400), and latency histogram. The endpoint label is the
 // route pattern, so /tables/{id} stays one series regardless of id.
+//
+// It also contains handler panics: a panicking request is recovered into a
+// 500 (when the response has not started) and counted on
+// thetis_panics_total{site="http"} instead of tearing down the connection
+// — one poisoned request must not degrade the daemon.
 func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
 	requests := obs.HTTPRequestsTotal(s.reg, pattern)
 	errCount := obs.HTTPErrorsTotal(s.reg, pattern)
 	latency := obs.HTTPRequestSeconds(s.reg, pattern)
+	panics := obs.PanicsTotal(s.reg, "http")
 	s.mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				panics.Inc()
+				if sw.wrote {
+					// Mid-stream panic: the status is already on the wire;
+					// record the failure for the error counter only.
+					sw.status = http.StatusInternalServerError
+				} else {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Errorf("internal error: %v", rec))
+				}
+			}
+			latency.Observe(time.Since(start).Seconds())
+			requests.Inc()
+			if sw.status >= 400 {
+				errCount.Inc()
+			}
+		}()
 		h(sw, r)
-		latency.Observe(time.Since(start).Seconds())
-		requests.Inc()
-		if sw.status >= 400 {
-			errCount.Inc()
-		}
 	})
 }
 
@@ -239,6 +293,30 @@ type SearchResponse struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady reports the index lifecycle (building | degraded | ready).
+// The daemon serves correct results in every state — degraded just means
+// brute-force scans — so /readyz answers 200 with the state by default.
+// Orchestrators that should route traffic only at full capacity can ask
+// with ?full=1, which answers 503 until the state is ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	state, detail, since := s.ready.Snapshot()
+	status := http.StatusOK
+	if r.URL.Query().Get("full") == "1" && state != StateReady {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"state":  state.String(),
+		"detail": detail,
+		"since":  since.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+// handleIngest serves the quarantine summary of the corpus load: per-kind
+// accepted/skipped counts and a bounded sample of rejected records.
+func (s *Server) handleIngest(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ingest.Summary())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -3,29 +3,96 @@ package table
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
 
+	"thetis/internal/atomicio"
 	"thetis/internal/kg"
+	"thetis/internal/obs"
 )
+
+// ReadOptions configures the lenient variants of the table codecs. The zero
+// value is strict parsing — identical to ReadCSV / NewJSONReader.
+type ReadOptions struct {
+	// Lenient skips malformed records (ragged CSV rows, bad JSONL tables)
+	// instead of aborting on the first one.
+	Lenient bool
+	// MaxLineBytes caps one JSONL line; 0 means kg.DefaultMaxLineBytes.
+	MaxLineBytes int
+	// ErrorBudget bounds how many records lenient mode may quarantine
+	// before giving up; negative means unlimited, 0 quarantines nothing.
+	ErrorBudget int
+	// Source names the stream in quarantine records.
+	Source string
+	// Quarantine receives skipped-record reports; may be nil.
+	Quarantine *obs.Quarantine
+}
 
 // ReadCSV parses a CSV stream into a Table. The first record is taken as
 // the header row; cells start unlinked. Ragged rows are an error.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
+	return ReadCSVOpts(name, r, ReadOptions{})
+}
+
+// ReadCSVOpts is ReadCSV with explicit strictness. In lenient mode ragged
+// or unparsable rows are skipped and quarantined (counted against
+// opts.ErrorBudget) while well-formed rows load normally; the header row
+// must always parse.
+func ReadCSVOpts(name string, r io.Reader, opts ReadOptions) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 0 // enforce rectangular shape
-	records, err := cr.ReadAll()
+	if !opts.Lenient {
+		records, err := cr.ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", name, err)
+		}
+		if len(records) == 0 {
+			return nil, fmt.Errorf("table %q: empty file", name)
+		}
+		t := New(name, records[0])
+		for _, rec := range records[1:] {
+			t.AppendValues(rec...)
+		}
+		return t, nil
+	}
+	source := opts.Source
+	if source == "" {
+		source = name
+	}
+	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("table %q: %w", name, err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("table %q: empty file", name)
+	t := New(name, header)
+	skipped := 0
+	for rec := 2; ; rec++ { // data rows start at record 2, after the header
+		row, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		var perr *csv.ParseError
+		if err != nil && !errors.As(err, &perr) {
+			// Not a per-record syntax problem (e.g. the underlying reader
+			// failed); retrying would loop on the same error.
+			return nil, fmt.Errorf("table %q: %w", name, err)
+		}
+		if err == nil && len(row) == len(header) {
+			t.AppendValues(row...)
+			continue
+		}
+		reason := fmt.Sprintf("row arity %d != header arity %d", len(row), len(header))
+		if err != nil {
+			reason = err.Error()
+		}
+		skipped++
+		opts.Quarantine.Skip(source, rec, reason, strings.Join(row, ","))
+		if opts.ErrorBudget >= 0 && skipped > opts.ErrorBudget {
+			return nil, fmt.Errorf("table %q: ingest error budget exceeded: %d rows quarantined (budget %d), last: %s",
+				name, skipped, opts.ErrorBudget, reason)
+		}
 	}
-	t := New(name, records[0])
-	for _, rec := range records[1:] {
-		t.AppendValues(rec...)
-	}
-	return t, nil
 }
 
 // WriteCSV serializes the raw values of t (header row first). Entity
@@ -96,8 +163,11 @@ func ReadJSON(g *kg.Graph, r io.Reader) (*Table, error) {
 
 // JSONReader streams tables out of a concatenated JSON (JSONL) corpus.
 type JSONReader struct {
-	g   *kg.Graph
-	dec *json.Decoder
+	g    *kg.Graph
+	dec  *json.Decoder // strict mode: token-stream decoding
+	lr   *atomicio.LineReader
+	opts ReadOptions
+	skip int // lenient mode: tables quarantined so far
 }
 
 // NewJSONReader creates a streaming reader over r, interning entities
@@ -106,12 +176,74 @@ func NewJSONReader(g *kg.Graph, r io.Reader) *JSONReader {
 	return &JSONReader{g: g, dec: json.NewDecoder(r)}
 }
 
-// Next returns the next table, or io.EOF when the stream ends.
-func (jr *JSONReader) Next() (*Table, error) {
-	if !jr.dec.More() {
-		return nil, io.EOF
+// NewJSONReaderOpts is NewJSONReader with explicit strictness. Lenient mode
+// reads the corpus line by line (one JSON table per line, the usual JSONL
+// layout) so a malformed table is skipped and quarantined without
+// desynchronizing the stream; strict mode keeps the token-stream decoder,
+// which also accepts multi-line concatenated JSON.
+func NewJSONReaderOpts(g *kg.Graph, r io.Reader, opts ReadOptions) *JSONReader {
+	if !opts.Lenient {
+		return NewJSONReader(g, r)
 	}
-	return decodeTable(jr.g, jr.dec)
+	maxLine := opts.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = kg.DefaultMaxLineBytes
+	}
+	return &JSONReader{g: g, lr: atomicio.NewLineReader(r, maxLine), opts: opts}
+}
+
+// Next returns the next table, or io.EOF when the stream ends. A lenient
+// reader skips malformed tables (recording them in the quarantine, up to
+// the error budget) and returns the next well-formed one; entities of a
+// skipped table are never interned into the graph.
+func (jr *JSONReader) Next() (*Table, error) {
+	if jr.lr == nil {
+		if !jr.dec.More() {
+			return nil, io.EOF
+		}
+		return decodeTable(jr.g, jr.dec)
+	}
+	for {
+		raw, lineNo, tooLong, err := jr.lr.Next()
+		if err != nil {
+			return nil, err // io.EOF included
+		}
+		line := strings.TrimSpace(string(raw))
+		if !tooLong && line == "" {
+			continue
+		}
+		t, reason := jr.decodeLine(raw, tooLong)
+		if reason == "" {
+			return t, nil
+		}
+		jr.skip++
+		sample := line
+		if tooLong {
+			sample = line[:min(len(line), 64)]
+		}
+		jr.opts.Quarantine.Skip(jr.opts.Source, lineNo, reason, sample)
+		if jr.opts.ErrorBudget >= 0 && jr.skip > jr.opts.ErrorBudget {
+			return nil, fmt.Errorf("line %d: ingest error budget exceeded: %d tables quarantined (budget %d), last: %s",
+				lineNo, jr.skip, jr.opts.ErrorBudget, reason)
+		}
+	}
+}
+
+// decodeLine parses one JSONL line into a table, returning a non-empty
+// rejection reason instead of mutating the graph when it is malformed.
+func (jr *JSONReader) decodeLine(raw []byte, tooLong bool) (*Table, string) {
+	if tooLong {
+		return nil, "table line exceeds the configured line cap"
+	}
+	var jt jsonTable
+	if err := json.Unmarshal(raw, &jt); err != nil {
+		return nil, err.Error()
+	}
+	t, err := tableFromJSON(jr.g, &jt)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return t, ""
 }
 
 func decodeTable(g *kg.Graph, dec *json.Decoder) (*Table, error) {
@@ -119,12 +251,22 @@ func decodeTable(g *kg.Graph, dec *json.Decoder) (*Table, error) {
 	if err := dec.Decode(&jt); err != nil {
 		return nil, err
 	}
-	t := New(jt.Name, jt.Attributes)
-	t.Categories = jt.Categories
+	return tableFromJSON(g, &jt)
+}
+
+// tableFromJSON materializes a decoded jsonTable. All structural checks run
+// before any entity is interned, so rejecting a table leaves the graph
+// untouched — loading a dirty corpus leniently builds the same graph as
+// loading its clean subset strictly.
+func tableFromJSON(g *kg.Graph, jt *jsonTable) (*Table, error) {
 	for i, jr := range jt.Rows {
 		if len(jr) != len(jt.Attributes) {
 			return nil, fmt.Errorf("table %q: row %d arity %d != schema arity %d", jt.Name, i, len(jr), len(jt.Attributes))
 		}
+	}
+	t := New(jt.Name, jt.Attributes)
+	t.Categories = jt.Categories
+	for _, jr := range jt.Rows {
 		cells := make([]Cell, len(jr))
 		for j, jc := range jr {
 			cells[j] = Cell{Value: jc.Value}

@@ -1,0 +1,107 @@
+package table
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"thetis/internal/kg"
+	"thetis/internal/obs"
+)
+
+const dirtyJSONL = `{"name":"t1","attributes":["player","team"],"rows":[[{"v":"Santo","e":"e/santo"},{"v":"Cubs","e":"e/cubs"}]]}
+{"name":"bad-json","attributes":["a"],"rows":[[{"v":
+{"name":"bad-arity","attributes":["a","b"],"rows":[[{"v":"only-one","e":"e/poison"}]]}
+
+{"name":"t2","attributes":["city"],"rows":[[{"v":"Chicago","e":"e/chicago"}]]}
+`
+
+func TestLenientJSONReader(t *testing.T) {
+	g := kg.NewGraph()
+	reg := obs.NewRegistry()
+	q := obs.NewQuarantine(reg, "tables")
+	jr := NewJSONReaderOpts(g, strings.NewReader(dirtyJSONL), ReadOptions{
+		Lenient:     true,
+		ErrorBudget: -1,
+		Source:      "dirty.jsonl",
+		Quarantine:  q,
+	})
+	var names []string
+	for {
+		tab, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, tab.Name)
+	}
+	if len(names) != 2 || names[0] != "t1" || names[1] != "t2" {
+		t.Fatalf("surviving tables = %v, want [t1 t2]", names)
+	}
+	_, skipped := q.Counts()
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	// The arity-mismatched table was rejected BEFORE interning entities:
+	// e/poison must not be in the graph, only the 3 entities of good tables.
+	if g.NumEntities() != 3 {
+		t.Errorf("entities = %d, want 3 (rejected tables must not pollute the graph)", g.NumEntities())
+	}
+	recs := q.Records()
+	if len(recs) != 2 || recs[0].Source != "dirty.jsonl" || recs[0].Line != 2 {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestLenientJSONReaderBudget(t *testing.T) {
+	g := kg.NewGraph()
+	jr := NewJSONReaderOpts(g, strings.NewReader(dirtyJSONL), ReadOptions{Lenient: true, ErrorBudget: 1})
+	var err error
+	for err == nil {
+		_, err = jr.Next()
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("budget of 1 with 2 bad tables: err = %v", err)
+	}
+}
+
+func TestStrictJSONReaderStillAborts(t *testing.T) {
+	g := kg.NewGraph()
+	jr := NewJSONReader(g, strings.NewReader(dirtyJSONL))
+	if _, err := jr.Next(); err != nil {
+		t.Fatalf("first table: %v", err)
+	}
+	if _, err := jr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("strict reader on malformed table: err = %v", err)
+	}
+}
+
+func TestLenientReadCSV(t *testing.T) {
+	dirty := "player,team\nSanto,Cubs\nragged-row\nBanks,Cubs\n"
+	reg := obs.NewRegistry()
+	q := obs.NewQuarantine(reg, "tables")
+	tab, err := ReadCSVOpts("roster", strings.NewReader(dirty), ReadOptions{
+		Lenient: true, ErrorBudget: -1, Quarantine: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", tab.NumRows())
+	}
+	if _, skipped := q.Counts(); skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+
+	// Strict mode still aborts on the same input.
+	if _, err := ReadCSV("roster", strings.NewReader(dirty)); err == nil {
+		t.Error("strict CSV read of ragged input succeeded")
+	}
+
+	// Lenient budget exceeded.
+	if _, err := ReadCSVOpts("roster", strings.NewReader(dirty), ReadOptions{Lenient: true, ErrorBudget: 0}); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("budget 0: err = %v", err)
+	}
+}

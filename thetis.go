@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"thetis/internal/bm25"
@@ -86,6 +87,13 @@ type (
 	ScoreMode = core.ScoreMode
 	// MappingMethod selects the query-to-column assignment algorithm.
 	MappingMethod = core.MappingMethod
+	// LoadOptions configures lenient (quarantine-based) triple loading.
+	LoadOptions = kg.LoadOptions
+	// Quarantine collects records rejected by lenient ingestion.
+	Quarantine = obs.Quarantine
+	// IngestReport aggregates the triple and table quarantines of one
+	// corpus load (served on the daemon's GET /debug/ingest).
+	IngestReport = obs.IngestReport
 )
 
 // Aggregation modes (Section 5.3 of the paper; MAX is recommended).
@@ -109,8 +117,20 @@ const (
 // NewGraph returns an empty knowledge graph.
 func NewGraph() *Graph { return kg.NewGraph() }
 
-// LoadTriples loads an N-Triples-subset stream into g.
+// LoadTriples loads an N-Triples-subset stream into g, strictly: the first
+// malformed line aborts the load.
 func LoadTriples(g *Graph, r io.Reader) error { return kg.LoadTriples(g, r) }
+
+// LoadTriplesOpts is LoadTriples with explicit strictness and quarantine
+// configuration; with opts.Lenient, malformed lines are skipped and
+// recorded instead of aborting.
+func LoadTriplesOpts(g *Graph, r io.Reader, opts LoadOptions) error {
+	return kg.LoadTriplesOpts(g, r, opts)
+}
+
+// NewIngestReport creates the quarantine pair (triples + tables) threaded
+// through lenient loads and served on the daemon's /debug/ingest.
+func NewIngestReport() *IngestReport { return obs.NewIngestReport(nil) }
 
 // NewTable creates an empty table with the given column headers.
 func NewTable(name string, attributes []string) *Table { return table.New(name, attributes) }
@@ -153,17 +173,22 @@ type System struct {
 	ec    *core.EmbeddingCosine
 	store *embedding.Store
 
-	engine   *core.Engine
-	index    *core.LSEI
+	engine *core.Engine
+	// index holds the active LSEI behind an atomic pointer so a background
+	// build (degraded-mode serving) can hot-swap it under live searches:
+	// searches Load once per query, builders Store a fully built index.
+	index    atomic.Pointer[core.LSEI]
 	indexCfg IndexConfig
-	votes    int
+	votes    atomic.Int32
 
 	keyword *bm25.Index
 }
 
 // New creates an empty semantic data lake over the knowledge graph g.
 func New(g *Graph) *System {
-	return &System{graph: g, lake: lake.New(g), votes: 1}
+	s := &System{graph: g, lake: lake.New(g)}
+	s.votes.Store(1)
+	return s
 }
 
 // Graph returns the underlying knowledge graph.
@@ -188,8 +213,8 @@ func (s *System) Table(id TableID) *Table { return s.lake.Table(id) }
 // AddTable must not run concurrently with searches.
 func (s *System) AddTable(t *Table) TableID {
 	id := s.lake.Add(t)
-	if s.index != nil {
-		s.index.AddTable(id)
+	if ix := s.index.Load(); ix != nil {
+		ix.AddTable(id)
 	}
 	if s.keyword != nil {
 		s.keyword.Add(int32(id), bm25.TableText(t))
@@ -197,12 +222,62 @@ func (s *System) AddTable(t *Table) TableID {
 	return id
 }
 
+// IngestOptions configures IngestCorpus. The zero value is strict
+// ingestion: the first malformed table aborts the load.
+type IngestOptions struct {
+	// Lenient skips malformed tables (recording them in Report) instead of
+	// aborting on the first one.
+	Lenient bool
+	// MaxLineBytes caps one JSONL line; 0 means the kg default (16 MiB).
+	MaxLineBytes int
+	// ErrorBudget bounds how many tables lenient mode may quarantine
+	// before giving up; negative means unlimited.
+	ErrorBudget int
+	// Source names the stream in quarantine records (e.g. the file path).
+	Source string
+	// Report receives quarantine records and accept/skip counts; may be
+	// nil.
+	Report *IngestReport
+}
+
+// IngestCorpus streams a JSONL corpus of annotated tables from r into the
+// lake, returning how many tables were ingested. With opts.Lenient,
+// malformed tables are quarantined (never interned into the graph) and
+// ingestion continues, so searching the surviving tables behaves exactly
+// like loading the clean subset directly.
+func (s *System) IngestCorpus(r io.Reader, opts IngestOptions) (int, error) {
+	var q *obs.Quarantine
+	if opts.Report != nil {
+		q = opts.Report.Tables
+	}
+	jr := table.NewJSONReaderOpts(s.graph, r, table.ReadOptions{
+		Lenient:      opts.Lenient,
+		MaxLineBytes: opts.MaxLineBytes,
+		ErrorBudget:  opts.ErrorBudget,
+		Source:       opts.Source,
+		Quarantine:   q,
+	})
+	n := 0
+	for {
+		t, err := jr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		s.AddTable(t)
+		q.Accept()
+		n++
+	}
+}
+
 // Refresh rebuilds the similarity structures, informativeness weights, and
 // any built indexes against the current state of the graph and lake. Call
 // it after ingesting tables that mention newly added KG entities, or after
 // large ingestion batches to refresh corpus-frequency weights.
 func (s *System) Refresh() {
-	rebuildIndex := s.index != nil
+	rebuildIndex := s.index.Load() != nil
 	rebuildKeyword := s.keyword != nil
 	switch {
 	case s.engine == nil:
@@ -259,7 +334,7 @@ func (s *System) UseTypeSimilarity() {
 		s.tj = core.NewTypeJaccard(s.graph)
 	}
 	s.engine = core.NewEngine(s.lake, s.tj)
-	s.index = nil
+	s.index.Store(nil)
 }
 
 // UseEmbeddingSimilarity configures σ as the clamped cosine of entity
@@ -271,7 +346,7 @@ func (s *System) UseEmbeddingSimilarity() {
 	}
 	s.ec = core.NewEmbeddingCosine(s.graph, s.store)
 	s.engine = core.NewEngine(s.lake, s.ec)
-	s.index = nil
+	s.index.Store(nil)
 }
 
 // UseCombinedSimilarity configures σ as a weighted blend of the type and
@@ -290,7 +365,7 @@ func (s *System) UseCombinedSimilarity(typeWeight, embeddingWeight float64) {
 		[]core.Similarity{s.tj, s.ec},
 		[]float64{typeWeight, embeddingWeight})
 	s.engine = core.NewEngine(s.lake, comb)
-	s.index = nil
+	s.index.Store(nil)
 }
 
 // RelaxedSearch is Search with automatic relaxation of over-specialized
@@ -316,7 +391,7 @@ func (s *System) RelaxedSearchContext(ctx context.Context, q Query, k, minResult
 // LSH prefiltering is not available for this similarity.
 func (s *System) UsePredicateSimilarity() {
 	s.engine = core.NewEngine(s.lake, core.NewPredicateJaccard(s.graph))
-	s.index = nil
+	s.index.Store(nil)
 }
 
 // SetAggregation switches between MAX (default, recommended) and AVG
@@ -341,32 +416,43 @@ func (s *System) SetMapping(m MappingMethod) {
 // BuildIndex builds the LSH prefiltering index (LSEI) for the currently
 // selected similarity. Votes sets the table vote threshold (1 disables
 // voting; the paper finds 3 faster at equal quality).
+//
+// The index is built aside and installed atomically, so BuildIndex may run
+// concurrently with searches (which serve brute-force until the swap) —
+// the mechanism behind the daemon's degraded-mode serving. It must not run
+// concurrently with ingestion or similarity changes.
 func (s *System) BuildIndex(cfg IndexConfig) {
 	s.mustEngine()
 	s.indexCfg = cfg
 	if s.ec != nil && s.engine.Sim == Similarity(s.ec) {
-		s.index = core.BuildEmbeddingLSEI(s.lake, s.ec, s.store.Dim(), cfg)
+		s.index.Store(core.BuildEmbeddingLSEI(s.lake, s.ec, s.store.Dim(), cfg))
 	} else {
-		s.index = core.BuildTypeLSEI(s.lake, s.tj, cfg)
+		s.index.Store(core.BuildTypeLSEI(s.lake, s.tj, cfg))
 	}
 }
 
+// HasIndex reports whether an LSEI is currently active.
+func (s *System) HasIndex() bool { return s.index.Load() != nil }
+
 // SetVotes sets the LSEI vote threshold used by Search.
-func (s *System) SetVotes(v int) { s.votes = v }
+func (s *System) SetVotes(v int) { s.votes.Store(int32(v)) }
 
 // SaveIndex serializes the built LSEI so a later process can LoadIndex
 // instead of re-hashing the corpus.
 func (s *System) SaveIndex(w io.Writer) error {
-	if s.index == nil {
+	ix := s.index.Load()
+	if ix == nil {
 		return errors.New("thetis: no index built")
 	}
-	return s.index.Write(w)
+	return ix.Write(w)
 }
 
 // LoadIndex installs an LSEI snapshot previously written by SaveIndex. The
 // snapshot must match the currently selected similarity (type snapshots
 // for type similarity, embedding snapshots for embedding similarity) and
-// the corpus it was built over.
+// the corpus it was built over. A snapshot damaged in any way — flipped
+// bytes, truncation — fails with atomicio.ErrCorruptSnapshot and leaves
+// the previously active index (if any) in place.
 func (s *System) LoadIndex(r io.Reader) error {
 	s.mustEngine()
 	if s.ec != nil && s.engine.Sim == Similarity(s.ec) {
@@ -374,14 +460,14 @@ func (s *System) LoadIndex(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		s.index = x
+		s.index.Store(x)
 		return nil
 	}
 	x, err := core.LoadTypeLSEI(s.lake, s.tj, r)
 	if err != nil {
 		return err
 	}
-	s.index = x
+	s.index.Store(x)
 	return nil
 }
 
@@ -421,12 +507,13 @@ func (s *System) SearchStats(q Query, k int) ([]Result, SearchStats) {
 // subset and Stats.Truncated is set — graceful degradation, not an error.
 func (s *System) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
 	s.mustEngine()
-	if s.index == nil {
+	ix := s.index.Load()
+	if ix == nil {
 		return s.engine.SearchContext(ctx, q, k)
 	}
 	start := time.Now()
 	pre := obs.NewTrace("prefilter")
-	cands := s.index.CandidatesTracedContext(ctx, q, s.votes, pre)
+	cands := ix.CandidatesTracedContext(ctx, q, int(s.votes.Load()), pre)
 	var (
 		results []Result
 		stats   SearchStats
