@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench fuzz faults
+.PHONY: all build test race vet fmt check bench benchcheck fuzz faults
 
 all: check
 
@@ -44,3 +44,8 @@ faults:
 BENCH ?= .
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
+
+# Paired σ-cache regression canary (docs/PERFORMANCE.md): default build vs
+# the `nosigmacache` escape hatch, best-of-N, fail on >5% regression.
+benchcheck:
+	./scripts/benchcheck.sh

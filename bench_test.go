@@ -196,6 +196,36 @@ func BenchmarkSearchBruteVsLSH(b *testing.B) {
 	}
 }
 
+// BenchmarkMappingWideQuery measures a brute-force search with a wide
+// multi-tuple query whose tuples repeat entities — the regression guard for
+// the σ-submatrix reuse in the column mapping (docs/PERFORMANCE.md): each
+// distinct query entity's score-matrix row is computed once per table and
+// shared by every tuple, so width and repetition must not multiply σ cost.
+func BenchmarkMappingWideQuery(b *testing.B) {
+	env := benchEnvironment(b)
+	// Flatten the benchmark query's 5 tuples into 5 wide tuples that all
+	// share one entity pool — maximal cross-tuple repetition.
+	var pool core.Tuple
+	for _, tu := range env.Queries5[0].Query {
+		pool = append(pool, tu...)
+	}
+	wide := make(core.Query, 5)
+	for i := range wide {
+		wide[i] = append(core.Tuple{}, pool[i%len(pool)])
+		wide[i] = append(wide[i], pool...)
+	}
+	for _, mapping := range []core.MappingMethod{core.MappingHungarian, core.MappingGreedy} {
+		b.Run(mapping.String(), func(b *testing.B) {
+			eng := core.NewEngine(env.Lake, env.TJ)
+			eng.Mapping = mapping
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Search(wide, 10)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationScoreMode regenerates the SemRel-interpretation ablation
 // (entity-wise Algorithm 1 vs pairwise Equation 1).
 func BenchmarkAblationScoreMode(b *testing.B) {

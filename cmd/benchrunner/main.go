@@ -9,6 +9,7 @@
 //	benchrunner -exp fig4            # run one experiment
 //	benchrunner -tables 20000 -queries 50   # approach the paper's scale
 //	benchrunner -list                # list experiment IDs
+//	benchrunner -exp table3 -sigmacache=false   # paired σ-cache runs
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"thetis/internal/core"
 	"thetis/internal/experiments"
 )
 
@@ -32,7 +34,11 @@ func main() {
 	small := flag.Bool("small", false, "use the fast test-scale environment")
 	bench := flag.String("bench", "", "load a datagen benchmark directory instead of generating")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	sigmacache := flag.Bool("sigmacache", true,
+		"enable the query-scoped similarity cache (pass -sigmacache=false for paired runs, see docs/PERFORMANCE.md)")
 	flag.Parse()
+
+	core.SetSigmaCacheEnabled(*sigmacache)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.ExperimentIDs(), "\n"))

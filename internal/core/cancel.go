@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// cancelProbe is a non-blocking cancellation check for CPU-bound loops.
+//
+// Watching ctx.Done() alone is not enough for deadline contexts: the Done
+// channel is closed by the context's timer goroutine, and on a single-CPU
+// scheduler (GOMAXPROCS=1) a tight scoring loop can run to completion
+// before that goroutine is ever scheduled — the deadline has passed but no
+// check observes it. The probe therefore captures the deadline once and
+// additionally compares it against the clock, so expiry is detected on the
+// very next check regardless of scheduler timing.
+//
+// Background (uncancellable) contexts cost one nil comparison per check.
+type cancelProbe struct {
+	done     <-chan struct{}
+	deadline time.Time
+	timed    bool
+}
+
+// newCancelProbe captures ctx's Done channel and deadline, if any.
+func newCancelProbe(ctx context.Context) cancelProbe {
+	p := cancelProbe{done: ctx.Done()}
+	p.deadline, p.timed = ctx.Deadline()
+	return p
+}
+
+// expired reports whether the context has been cancelled or its deadline
+// has passed. It never blocks.
+func (p *cancelProbe) expired() bool {
+	if p.done == nil {
+		return false
+	}
+	select {
+	case <-p.done:
+		return true
+	default:
+	}
+	return p.timed && !time.Now().Before(p.deadline)
+}

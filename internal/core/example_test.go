@@ -88,6 +88,33 @@ func ExampleNewEngine() {
 	// cities 0.44
 }
 
+// ExampleNewSigmaCache memoizes σ outside the engine and introspects the
+// cache. Engine.Search wires one of these per query automatically (the
+// hit/miss tallies surface in Stats.SigmaHits/SigmaMisses and the
+// thetis_sigma_cache_* metrics); constructing one directly shows what the
+// scoring workers share.
+func ExampleNewSigmaCache() {
+	_, g, q := exampleLake()
+	cache := core.NewSigmaCache(q, core.NewTypeJaccard(g), g.NumEntities())
+
+	// Score every corpus entity against each distinct query entity, twice:
+	// the second pass is served entirely from the cache.
+	for pass := 0; pass < 2; pass++ {
+		for slot := 0; slot < cache.NumSlots(); slot++ {
+			for e := 0; e < g.NumEntities(); e++ {
+				cache.Sigma(slot, kg.EntityID(e))
+			}
+		}
+	}
+
+	st := cache.Stats()
+	fmt.Printf("slots=%d dense=%v entries=%d\n", st.Slots, st.Dense, st.Entries)
+	fmt.Printf("hits=%d misses=%d hit rate %.0f%%\n", st.Hits, st.Misses, 100*st.HitRate())
+	// Output:
+	// slots=2 dense=true entries=16
+	// hits=16 misses=16 hit rate 50%
+}
+
 // ExampleBuildTypeLSEI prefilters the search space with a MinHash LSEI
 // before scoring: only tables that collide with the query's entities (and
 // survive voting) are scored at all.

@@ -77,14 +77,17 @@ func TestGreedySuboptimalCase(t *testing.T) {
 func TestHungarianDominatesGreedyOnAssignmentTotal(t *testing.T) {
 	l, g := fixtureLake(t)
 	q := queryOf(t, g, "santo", "stetter")
-	sc := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingHungarian)
-	scGreedy := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingGreedy)
+	sc := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingHungarian, nil)
+	scGreedy := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingGreedy, nil)
 	for _, tb := range l.Tables() {
 		if tb.NumRows() == 0 {
 			continue
 		}
-		_, hTotal := sc.mapColumns(0, tb)
-		_, gTotal := scGreedy.mapColumns(0, tb)
+		ci := table.BuildColumnIndex(tb)
+		sc.beginTable()
+		scGreedy.beginTable()
+		_, hTotal := sc.mapColumns(0, ci)
+		_, gTotal := scGreedy.mapColumns(0, ci)
 		if gTotal > hTotal+1e-9 {
 			t.Errorf("table %q: greedy total %v exceeds hungarian %v", tb.Name, gTotal, hTotal)
 		}

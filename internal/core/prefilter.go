@@ -229,10 +229,27 @@ func frequentTypes(l *lake.Lake, tj *TypeJaccard, threshold float64) map[kg.Type
 }
 
 // typeShingles merges the filtered type sets of the given entities and
-// shingles them pairwise.
+// shingles them pairwise. Entities repeating an already-merged interned
+// type set (TypeJaccard.SetID) are skipped: shingling deduplicates types
+// anyway, so dropping whole duplicate sets changes nothing in the shingle
+// set while column aggregation over skewed corpora merges far fewer
+// elements.
 func (x *LSEI) typeShingles(ents []kg.EntityID) []uint64 {
 	var merged []uint32
+	var seenSets map[int32]bool
+	if len(ents) > 1 {
+		seenSets = make(map[int32]bool, len(ents))
+	}
 	for _, e := range ents {
+		if seenSets != nil {
+			id := x.typeSets.SetID(e)
+			if id >= 0 {
+				if seenSets[id] {
+					continue
+				}
+				seenSets[id] = true
+			}
+		}
 		for _, ty := range x.typeSets.TypeSet(e) {
 			if !x.typeFilter[ty] {
 				merged = append(merged, uint32(ty))
@@ -373,16 +390,12 @@ func (x *LSEI) CandidatesTracedContext(ctx context.Context, q Query, votes int, 
 	if votes < 1 {
 		votes = 1
 	}
-	done := ctx.Done()
+	stop := newCancelProbe(ctx)
 	out := make(map[lake.TableID]bool)
 	var tally probeTally
 	for _, e := range q.DistinctEntities() {
-		if done != nil {
-			select {
-			case <-done:
-				return x.finish(out, tally, tr)
-			default:
-			}
+		if stop.expired() {
+			return x.finish(out, tally, tr)
 		}
 		sig := x.entitySignature(e)
 		if sig == nil {

@@ -24,7 +24,22 @@ var (
 	mCandidates   = obs.SearchCandidates()
 	mTruncated    = obs.SearchTruncatedTotal()
 	mSearchPanics = obs.PanicsTotal(nil, "search")
+	mSigmaHits    = obs.SigmaCacheHitsTotal()
+	mSigmaMisses  = obs.SigmaCacheMissesTotal()
+	mSigmaBytes   = obs.SigmaCacheBytes()
+	mSigmaRatio   = obs.SigmaCacheHitRatio()
 )
+
+// sigmaCacheRuntimeOff is the process-wide σ-cache kill switch, set by
+// SetSigmaCacheEnabled. It complements the per-engine DisableSigmaCache
+// field and the nosigmacache build tag.
+var sigmaCacheRuntimeOff atomic.Bool
+
+// SetSigmaCacheEnabled toggles the query-scoped σ cache for every engine
+// in the process (default enabled). Benchmark drivers flip it to pair
+// cached against uncached runs inside one binary; results are identical
+// either way, only the runtime changes (see docs/PERFORMANCE.md).
+func SetSigmaCacheEnabled(enabled bool) { sigmaCacheRuntimeOff.Store(!enabled) }
 
 func kgEntity(x uint32) kg.EntityID { return kg.EntityID(x) }
 
@@ -45,6 +60,26 @@ type Engine struct {
 	Mapping MappingMethod
 	// Parallelism bounds the scoring worker count; 0 means GOMAXPROCS.
 	Parallelism int
+	// DisableSigmaCache turns off the query-scoped σ cache for this
+	// engine, falling back to per-worker memoization. Scores are
+	// bit-identical either way (σ is deterministic; only the amount of
+	// recomputation changes) — the differential test battery and the
+	// benchcheck baseline rely on that. See also SetSigmaCacheEnabled and
+	// the nosigmacache build tag.
+	DisableSigmaCache bool
+}
+
+// newSigmaCache returns the query-scoped σ cache for one search, or nil
+// when caching is disabled by the build tag, the process-wide switch, or
+// the engine.
+func (eng *Engine) newSigmaCache(q Query) *SigmaCache {
+	if !sigmaCacheBuildEnabled || eng.DisableSigmaCache || sigmaCacheRuntimeOff.Load() {
+		return nil
+	}
+	if eng.Lake == nil || eng.Lake.Graph == nil {
+		return nil
+	}
+	return NewSigmaCache(q, eng.Sim, eng.Lake.Graph.NumEntities())
 }
 
 // NewEngine builds an engine with IDF informativeness and MAX aggregation,
@@ -86,6 +121,12 @@ type Stats struct {
 	// table — recovered, counted on thetis_panics_total{site="search"}, and
 	// excluded from the results — instead of crashing the process.
 	Panicked int
+	// SigmaHits and SigmaMisses count σ evaluations served from and
+	// filled into the query-scoped SigmaCache during this search. Both
+	// are zero when the cache is disabled (the per-worker fallback does
+	// not report its memoization). Their sum is the total number of σ
+	// lookups the scoring stage issued through the cache.
+	SigmaHits, SigmaMisses int64
 	// Trace is the structured per-stage breakdown of this search
 	// (mapping → score → rank, with prefilter probe/vote stages prepended
 	// by System.SearchStats when an LSEI is active). Always non-nil on
@@ -104,7 +145,9 @@ func (eng *Engine) Search(q Query, k int) ([]Result, Stats) {
 // SearchContext is Search honoring cancellation and deadlines: scoring
 // workers check ctx between tables (the cancellation granule is one table),
 // so an expiring deadline returns promptly with the best-effort prefix of
-// tables scored so far, marked Stats.Truncated.
+// tables scored so far, marked Stats.Truncated. Deadlines are checked
+// against the clock as well as ctx.Done (see cancelProbe), so truncation
+// does not depend on the runtime scheduling the context's timer goroutine.
 func (eng *Engine) SearchContext(ctx context.Context, q Query, k int) ([]Result, Stats) {
 	return eng.SearchCandidatesContext(ctx, q, nil, k)
 }
@@ -144,20 +187,24 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 		workers = len(candidates)
 	}
 
-	// done is nil for background contexts, keeping the uncancellable hot
-	// path free of per-table channel operations.
-	done := ctx.Done()
+	stop := newCancelProbe(ctx)
 	var truncated atomic.Bool
-	if done != nil && ctx.Err() != nil {
+	if ctx.Err() != nil {
 		truncated.Store(true)
 		workers = 0 // context already dead: skip scoring entirely
 	}
 
 	type partial struct {
-		results  []Result
-		mapping  time.Duration
-		panicked int
+		results      []Result
+		mapping      time.Duration
+		panicked     int
+		hits, misses int64
 	}
+	// sigma is the query-scoped σ cache, shared by every scoring worker of
+	// this search so each distinct (query entity, cell entity) pair is
+	// scored exactly once per query. Nil when disabled; scorers then fall
+	// back to per-worker memoization.
+	sigma := eng.newSigmaCache(q)
 	// scoreOne contains a panic to the table that caused it: scoring worker
 	// goroutines are outside any net/http recovery, so an uncontained panic
 	// here would kill the whole process.
@@ -168,7 +215,7 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 				mSearchPanics.Inc()
 			}
 		}()
-		score, mt = sc.scoreTable(eng.Lake.Table(tid))
+		score, mt = sc.scoreTable(eng.Lake.Table(tid), eng.Lake.ColumnIndex(tid))
 		return
 	}
 	parts := make([]partial, workers)
@@ -190,23 +237,28 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			// Each worker gets its own scorer: σ caches are not shared.
-			sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
+			// Each worker gets its own scorer (scratch rows, local σ
+			// fallback); the SigmaCache is the part they share.
+			sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
+			defer func() {
+				parts[w].hits += sc.hits
+				parts[w].misses += sc.misses
+			}()
 			for _, tid := range candidates[lo:hi] {
-				if done != nil {
-					select {
-					case <-done:
-						truncated.Store(true)
-						return
-					default:
-					}
+				if stop.expired() {
+					truncated.Store(true)
+					return
 				}
 				score, mt, panicked := scoreOne(sc, tid)
 				parts[w].mapping += mt
 				if panicked {
 					parts[w].panicked++
-					// The scorer's caches may be mid-update; rebuild it.
-					sc = newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
+					// The scorer's scratch may be mid-update; rebuild it.
+					// (SigmaCache entries are stored whole, so the shared
+					// cache stays valid.)
+					parts[w].hits += sc.hits
+					parts[w].misses += sc.misses
+					sc = newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
 					continue
 				}
 				if score > 0 {
@@ -223,6 +275,17 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 		results = append(results, p.results...)
 		stats.MappingTime += p.mapping
 		stats.Panicked += p.panicked
+		stats.SigmaHits += p.hits
+		stats.SigmaMisses += p.misses
+	}
+	if sigma != nil {
+		sigma.addCounts(stats.SigmaHits, stats.SigmaMisses)
+		mSigmaHits.Add(stats.SigmaHits)
+		mSigmaMisses.Add(stats.SigmaMisses)
+		mSigmaBytes.Set(float64(sigma.MemoryBytes()))
+		if total := stats.SigmaHits + stats.SigmaMisses; total > 0 {
+			mSigmaRatio.Set(float64(stats.SigmaHits) / float64(total))
+		}
 	}
 	stats.Truncated = truncated.Load()
 	if stats.Truncated {
@@ -256,10 +319,12 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 
 // ScoreTable computes SemRel(Q, T) for a single table, returning the score
 // and the time spent in the column-mapping step (the microbenchmark of
-// Section 7.3).
+// Section 7.3). It shares the search path's memoization (query-scoped σ
+// cache, column pre-aggregation), so its score is bit-identical to the one
+// the same table earns inside Search.
 func (eng *Engine) ScoreTable(q Query, tid lake.TableID) (float64, time.Duration) {
-	sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping)
-	return sc.scoreTable(eng.Lake.Table(tid))
+	sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, eng.newSigmaCache(q))
+	return sc.scoreTable(eng.Lake.Table(tid), eng.Lake.ColumnIndex(tid))
 }
 
 // ScoreTableContext is ScoreTable honoring cancellation: one table is the

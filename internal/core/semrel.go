@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"thetis/internal/hungarian"
+	"thetis/internal/kg"
 	"thetis/internal/table"
 )
 
@@ -79,12 +80,15 @@ func (m MappingMethod) String() string {
 	return "hungarian"
 }
 
-// sigmaCache memoizes σ(e, ·) for a fixed query entity, since a table
-// column usually repeats few distinct entities.
+// sigmaCache memoizes σ(e, ·) for a fixed distinct query entity — the
+// per-worker fallback used when the shared query-scoped SigmaCache is
+// disabled (Engine.DisableSigmaCache or the nosigmacache build tag).
 type sigmaCache map[uint32]float64
 
 // scorer evaluates SemRel for one query against tables, carrying the
-// immutable pieces of Algorithm 1's inner loop.
+// immutable pieces of Algorithm 1's inner loop. Query entities are
+// resolved once to distinct slots, so σ memoization and per-table column
+// scores are shared between tuples that repeat an entity.
 type scorer struct {
 	sim     Similarity
 	inf     Informativeness
@@ -92,13 +96,30 @@ type scorer struct {
 	mode    ScoreMode
 	mapping MappingMethod
 	q       Query
-	// weights[i][k] = I(q[i][k]), precomputed.
+	// weights[ti][k] = I(q[ti][k]), precomputed.
 	weights [][]float64
-	// caches[i][k] memoizes σ(q[i][k], ·).
-	caches [][]sigmaCache
+	// distinct are the deduplicated query entities; slots[ti][k] indexes
+	// q[ti][k]'s entity in it.
+	distinct []kg.EntityID
+	slots    [][]int
+
+	// shared is the query-scoped σ cache shared across all workers of one
+	// search; nil when disabled, in which case local memoizes per worker.
+	shared *SigmaCache
+	local  []sigmaCache
+	// hits/misses batch the shared cache's counters locally (merged once
+	// per search, not once per lookup).
+	hits, misses int64
+
+	// Per-table scratch, reset by scoreTable: rowScore[di][j] is the sum
+	// of σ(distinct[di], e) over column j's cells — the σ submatrix row of
+	// the column mapping, computed once per distinct entity per table and
+	// reused by every tuple that mentions the entity.
+	rowScore [][]float64
+	rowValid []bool
 }
 
-func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mode ScoreMode, mapping MappingMethod) *scorer {
+func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mode ScoreMode, mapping MappingMethod, shared *SigmaCache) *scorer {
 	s := &scorer{
 		sim:     sim,
 		inf:     inf,
@@ -107,44 +128,77 @@ func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mo
 		mapping: mapping,
 		q:       q,
 		weights: make([][]float64, len(q)),
-		caches:  make([][]sigmaCache, len(q)),
+		slots:   make([][]int, len(q)),
+		shared:  shared,
 	}
-	for i, tq := range q {
-		s.weights[i] = make([]float64, len(tq))
-		s.caches[i] = make([]sigmaCache, len(tq))
+	slotOf := make(map[kg.EntityID]int)
+	for ti, tq := range q {
+		s.weights[ti] = make([]float64, len(tq))
+		s.slots[ti] = make([]int, len(tq))
 		for k, e := range tq {
-			s.weights[i][k] = inf(e)
-			s.caches[i][k] = make(sigmaCache)
+			s.weights[ti][k] = inf(e)
+			di, ok := slotOf[e]
+			if !ok {
+				di = len(s.distinct)
+				slotOf[e] = di
+				s.distinct = append(s.distinct, e)
+			}
+			s.slots[ti][k] = di
 		}
 	}
+	if shared == nil {
+		s.local = make([]sigmaCache, len(s.distinct))
+		for i := range s.local {
+			s.local[i] = make(sigmaCache)
+		}
+	}
+	s.rowScore = make([][]float64, len(s.distinct))
+	s.rowValid = make([]bool, len(s.distinct))
 	return s
 }
 
-func (s *scorer) sigma(tupleIdx, entIdx int, target uint32) float64 {
-	c := s.caches[tupleIdx][entIdx]
+// sigma returns σ(distinct[di], target), memoized in the shared
+// query-scoped cache when one is attached, else in the worker-local map.
+func (s *scorer) sigma(di int, target uint32) float64 {
+	if s.shared != nil {
+		if v, ok := s.shared.lookup(di, target); ok {
+			s.hits++
+			return v
+		}
+		v := s.sim.Score(s.distinct[di], kgEntity(target))
+		s.shared.store(di, target, v)
+		s.misses++
+		return v
+	}
+	c := s.local[di]
 	if v, ok := c[target]; ok {
 		return v
 	}
-	v := s.sim.Score(s.q[tupleIdx][entIdx], kgEntity(target))
+	v := s.sim.Score(s.distinct[di], kgEntity(target))
 	c[target] = v
 	return v
 }
 
 // scoreTable computes SemRel(Q, T) per Algorithm 1 and returns the score
 // together with the time spent computing the query-to-column mapping μ
-// (the cost fraction studied in Section 7.3). A table for which no query
+// (the cost fraction studied in Section 7.3). ci is the table's column
+// pre-aggregation (nil builds a transient one). A table for which no query
 // entity has any positive similarity scores 0 and is thereby excluded from
 // results, satisfying Problem 2.2.
-func (s *scorer) scoreTable(t *table.Table) (float64, time.Duration) {
+func (s *scorer) scoreTable(t *table.Table, ci *table.ColumnIndex) (float64, time.Duration) {
 	if t.NumRows() == 0 || t.NumColumns() == 0 {
 		return 0, 0
 	}
+	if ci == nil {
+		ci = table.BuildColumnIndex(t)
+	}
+	s.beginTable()
 	var mappingTime time.Duration
 	total := 0.0
 	matched := false
 	for ti := range s.q {
 		start := time.Now()
-		assignment, assignScore := s.mapColumns(ti, t)
+		assignment, assignScore := s.mapColumns(ti, ci)
 		mappingTime += time.Since(start)
 		if assignScore <= 0 {
 			// No relevant mapping for this tuple: contributes 0.
@@ -154,7 +208,7 @@ func (s *scorer) scoreTable(t *table.Table) (float64, time.Duration) {
 		if s.mode == ModePairwise {
 			total += s.tupleScorePairwise(ti, t, assignment)
 		} else {
-			total += s.tupleScore(ti, t, assignment)
+			total += s.tupleScore(ti, t, ci, assignment)
 		}
 	}
 	if !matched {
@@ -163,26 +217,49 @@ func (s *scorer) scoreTable(t *table.Table) (float64, time.Duration) {
 	return total / float64(len(s.q)), mappingTime
 }
 
-// mapColumns builds the score matrix S (Section 5.1) for query tuple ti and
-// solves the assignment problem, returning per-entity column assignments
-// (-1 = unassigned) and the total assignment score.
-func (s *scorer) mapColumns(ti int, t *table.Table) ([]int, float64) {
-	tq := s.q[ti]
-	k, n := len(tq), t.NumColumns()
-	S := make([][]float64, k)
-	for i := range S {
-		S[i] = make([]float64, n)
+// beginTable invalidates the per-table memoized column-score rows. Called
+// by scoreTable before each table; callers driving mapColumns directly
+// (tests) must call it when switching tables.
+func (s *scorer) beginTable() {
+	for di := range s.rowValid {
+		s.rowValid[di] = false
 	}
-	for _, row := range t.Rows {
-		for j, cell := range row {
-			e, ok := cell.EntityID()
-			if !ok {
-				continue
-			}
-			for i := range tq {
-				S[i][j] += s.sigma(ti, i, uint32(e))
-			}
+}
+
+// columnScores returns, for distinct query entity di, the per-column sums
+// of σ against every cell — one row of the score matrix S (Section 5.1).
+// Rows are computed lazily per table via the column index (distinct
+// entities × multiplicities instead of raw cells) and reused by every
+// tuple of the query that mentions the entity, so wide queries with
+// repeated entities pay for each σ row once.
+func (s *scorer) columnScores(di int, ci *table.ColumnIndex) []float64 {
+	if s.rowValid[di] {
+		return s.rowScore[di]
+	}
+	row := s.rowScore[di][:0]
+	for j := range ci.Cols {
+		cs := &ci.Cols[j]
+		sum := 0.0
+		for i, e := range cs.Entities {
+			sum += float64(cs.Counts[i]) * s.sigma(di, uint32(e))
 		}
+		row = append(row, sum)
+	}
+	s.rowScore[di] = row
+	s.rowValid[di] = true
+	return row
+}
+
+// mapColumns assembles the score matrix S (Section 5.1) for query tuple ti
+// from the memoized per-entity column-score rows and solves the assignment
+// problem, returning per-entity column assignments (-1 = unassigned) and
+// the total assignment score. Tuple entities that repeat share one row
+// (aliased, read-only under both solvers).
+func (s *scorer) mapColumns(ti int, ci *table.ColumnIndex) ([]int, float64) {
+	slots := s.slots[ti]
+	S := make([][]float64, len(slots))
+	for i, di := range slots {
+		S[i] = s.columnScores(di, ci)
 	}
 	var assignment []int
 	if s.mapping == MappingGreedy {
@@ -219,13 +296,13 @@ func greedyMaximize(S [][]float64) []int {
 // tupleScore computes the weighted-Euclidean SemRel of query tuple ti
 // against the whole table under the given column assignment (Equations 2–3,
 // Algorithm 1 lines 7–14).
-func (s *scorer) tupleScore(ti int, t *table.Table, assignment []int) float64 {
-	tq := s.q[ti]
+func (s *scorer) tupleScore(ti int, t *table.Table, ci *table.ColumnIndex, assignment []int) float64 {
+	slots := s.slots[ti]
 	var distSq float64
-	for i := range tq {
+	for i := range slots {
 		x := 0.0
 		if j := assignment[i]; j >= 0 {
-			x = s.aggregateColumn(ti, i, t, j)
+			x = s.aggregateColumn(slots[i], ci, j, t.NumRows())
 		}
 		miss := 1 - x
 		distSq += s.weights[ti][i] * miss * miss
@@ -238,15 +315,15 @@ func (s *scorer) tupleScore(ti int, t *table.Table, assignment []int) float64 {
 // space and earns its own SemRel, which is then folded across rows by the
 // configured aggregation.
 func (s *scorer) tupleScorePairwise(ti int, t *table.Table, assignment []int) float64 {
-	tq := s.q[ti]
+	slots := s.slots[ti]
 	best, sum := 0.0, 0.0
 	for _, row := range t.Rows {
 		var distSq float64
-		for i := range tq {
+		for i := range slots {
 			x := 0.0
 			if j := assignment[i]; j >= 0 {
 				if e, ok := row[j].EntityID(); ok {
-					x = s.sigma(ti, i, uint32(e))
+					x = s.sigma(slots[i], uint32(e))
 				}
 			}
 			miss := 1 - x
@@ -264,27 +341,23 @@ func (s *scorer) tupleScorePairwise(ti int, t *table.Table, assignment []int) fl
 	return best
 }
 
-// aggregateColumn folds the per-row similarities of query entity (ti, i)
-// against column j into one score per the configured aggregation.
-func (s *scorer) aggregateColumn(ti, i int, t *table.Table, j int) float64 {
+// aggregateColumn folds the per-row similarities of distinct query entity
+// di against column j into one score per the configured aggregation,
+// iterating the column's distinct entities with multiplicities instead of
+// its raw cells.
+func (s *scorer) aggregateColumn(di int, ci *table.ColumnIndex, j, numRows int) float64 {
 	switch s.agg {
 	case AggregateAvg:
-		sum := 0.0
-		for _, row := range t.Rows {
-			if e, ok := row[j].EntityID(); ok {
-				sum += s.sigma(ti, i, uint32(e))
-			}
-		}
-		return sum / float64(t.NumRows())
+		// The per-row σ sum of the column is exactly this entity's score-
+		// matrix cell, already memoized by the mapping step.
+		return s.columnScores(di, ci)[j] / float64(numRows)
 	default: // AggregateMax
 		best := 0.0
-		for _, row := range t.Rows {
-			if e, ok := row[j].EntityID(); ok {
-				if v := s.sigma(ti, i, uint32(e)); v > best {
-					best = v
-					if best >= 1 {
-						return 1
-					}
+		for _, e := range ci.Cols[j].Entities {
+			if v := s.sigma(di, uint32(e)); v > best {
+				best = v
+				if best >= 1 {
+					return 1
 				}
 			}
 		}

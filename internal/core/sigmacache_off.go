@@ -1,0 +1,9 @@
+//go:build nosigmacache
+
+package core
+
+// sigmaCacheBuildEnabled is false under the `nosigmacache` build tag:
+// engines fall back to per-worker memoization exactly as if every Engine
+// set DisableSigmaCache, giving `make benchcheck` an uncached baseline
+// binary (docs/PERFORMANCE.md).
+const sigmaCacheBuildEnabled = false

@@ -1,0 +1,9 @@
+//go:build !nosigmacache
+
+package core
+
+// sigmaCacheBuildEnabled reports whether this binary was built with the
+// query-scoped σ cache available. The `nosigmacache` build tag flips it
+// off — the escape hatch `make benchcheck` uses to pair cached against
+// uncached runs of the same benchmark (docs/PERFORMANCE.md).
+const sigmaCacheBuildEnabled = true

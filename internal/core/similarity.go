@@ -6,13 +6,17 @@
 package core
 
 import (
+	"math/bits"
+
 	"thetis/internal/embedding"
 	"thetis/internal/kg"
 )
 
 // Similarity is the entity semantic similarity σ : N × N → [0, 1] of
 // Section 4.1, with σ(e, e) = 1. Implementations must be safe for
-// concurrent use.
+// concurrent use and deterministic: Score must always return the same
+// value for the same pair, which is what lets SigmaCache memoize it
+// without changing any search result.
 type Similarity interface {
 	// Score returns the semantic similarity of two entities in [0, 1].
 	Score(a, b kg.EntityID) float64
@@ -22,56 +26,155 @@ type Similarity interface {
 // entities (Equation 4 of the paper).
 const MaxJaccard = 0.95
 
+// bitsetMaxTypes bounds the taxonomy size for which TypeJaccard keeps a
+// fixed-size bitset per distinct type set (one popcount-friendly word per
+// 64 types). Beyond it only the interned sorted slices are kept and Score
+// falls back to a linear merge. 4096 types = 512 bytes per distinct set.
+const bitsetMaxTypes = 4096
+
 // TypeJaccard scores entities by the adjusted Jaccard similarity of their
 // (taxonomy-expanded) type sets: 1 for identical entities, otherwise the
-// Jaccard of the type sets capped at 0.95. Type sets are precomputed and
-// sorted so Score runs a linear merge.
+// Jaccard of the type sets capped at 0.95 (Equation 4).
+//
+// Type sets are expanded, sorted, and interned at construction through a
+// kg.TypeSetInterner: every entity holds a dense set ID into a table of
+// canonical sets, so duplicate sets share one allocation, two entities
+// with the same set ID short-circuit to Jaccard 1 without touching the
+// elements, and — when the taxonomy has at most 4096 types — Equation 4's
+// intersection runs as a popcount over fixed-size bitsets instead of a
+// merge.
 type TypeJaccard struct {
-	types [][]kg.TypeID
+	// setID[e] indexes sets/bitsets; -1 marks an empty type set.
+	setID []int32
+	// sets holds one canonical sorted slice per distinct type set.
+	sets [][]kg.TypeID
+	// bitsets[i] is the bitset of sets[i]; nil when the taxonomy is too
+	// large for bitset mode.
+	bitsets [][]uint64
 }
 
 // NewTypeJaccard precomputes expanded type sets for every entity of g.
 // Expansion through the taxonomy mirrors DBpedia's materialized types,
 // where entities carry "multiple types at different levels of granularity".
+// Per-type closures are memoized and the per-entity results interned, so
+// construction is linear in the number of (entity, direct type) pairs
+// rather than in the total size of all expanded sets.
 func NewTypeJaccard(g *kg.Graph) *TypeJaccard {
-	tj := &TypeJaccard{types: make([][]kg.TypeID, g.NumEntities())}
+	tj := &TypeJaccard{setID: make([]int32, g.NumEntities())}
+	in := kg.NewTypeSetInterner()
+	closures := make([][]kg.TypeID, g.NumTypes())
+	var scratch []kg.TypeID
 	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
-		tj.types[e] = g.ExpandedTypes(e)
+		scratch = scratch[:0]
+		for _, t := range g.Types(e) {
+			if closures[t] == nil {
+				closures[t] = g.TypeClosure(t)
+			}
+			scratch = append(scratch, closures[t]...)
+		}
+		ts := sortDedupe(scratch)
+		if len(ts) == 0 {
+			tj.setID[e] = -1
+			continue
+		}
+		_, id := in.Intern(ts)
+		tj.setID[e] = id
+	}
+	tj.sets = in.Sets()
+	if g.NumTypes() <= bitsetMaxTypes {
+		words := (g.NumTypes() + 63) / 64
+		tj.bitsets = make([][]uint64, len(tj.sets))
+		for i, ts := range tj.sets {
+			b := make([]uint64, words)
+			for _, t := range ts {
+				b[t/64] |= 1 << (t % 64)
+			}
+			tj.bitsets[i] = b
+		}
 	}
 	return tj
 }
 
-// TypeSet returns the expanded, sorted type set of e. The slice is owned by
-// the receiver. Entities added to the graph after construction have an
-// empty set; rebuild the TypeJaccard to pick them up.
+// sortDedupe sorts ts in place and removes duplicates (insertion sort: the
+// merged closure lists are short and mostly sorted already).
+func sortDedupe(ts []kg.TypeID) []kg.TypeID {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TypeSet returns the expanded, sorted type set of e. The slice is the
+// interned canonical copy, shared by every entity with an equal set; it is
+// owned by the receiver and must not be modified. Entities added to the
+// graph after construction have an empty set; rebuild the TypeJaccard to
+// pick them up.
 func (tj *TypeJaccard) TypeSet(e kg.EntityID) []kg.TypeID {
-	if int(e) >= len(tj.types) {
+	if int(e) >= len(tj.setID) || tj.setID[e] < 0 {
 		return nil
 	}
-	return tj.types[e]
+	return tj.sets[tj.setID[e]]
 }
+
+// SetID returns the dense interned type-set ID of e, or -1 when e has no
+// types (or is out of range). Two entities share an ID exactly when their
+// expanded type sets are equal, which callers can use to deduplicate
+// per-set work (the LSEI prefilter skips repeated sets this way).
+func (tj *TypeJaccard) SetID(e kg.EntityID) int32 {
+	if int(e) >= len(tj.setID) {
+		return -1
+	}
+	return tj.setID[e]
+}
+
+// NumTypeSets returns the number of distinct non-empty expanded type sets
+// across all entities — the size of the intern table.
+func (tj *TypeJaccard) NumTypeSets() int { return len(tj.sets) }
 
 // Score implements Similarity per Equation 4.
 func (tj *TypeJaccard) Score(a, b kg.EntityID) float64 {
 	if a == b {
 		return 1
 	}
-	ta, tb := tj.TypeSet(a), tj.TypeSet(b)
-	if len(ta) == 0 || len(tb) == 0 {
+	if int(a) >= len(tj.setID) || int(b) >= len(tj.setID) {
 		return 0
 	}
+	sa, sb := tj.setID[a], tj.setID[b]
+	if sa < 0 || sb < 0 {
+		return 0
+	}
+	if sa == sb {
+		// Identical sets: Jaccard 1, capped for non-identical entities.
+		return MaxJaccard
+	}
+	ta, tb := tj.sets[sa], tj.sets[sb]
 	inter := 0
-	i, j := 0, 0
-	for i < len(ta) && j < len(tb) {
-		switch {
-		case ta[i] == tb[j]:
-			inter++
-			i++
-			j++
-		case ta[i] < tb[j]:
-			i++
-		default:
-			j++
+	if tj.bitsets != nil {
+		ba, bb := tj.bitsets[sa], tj.bitsets[sb]
+		for w := range ba {
+			inter += bits.OnesCount64(ba[w] & bb[w])
+		}
+	} else {
+		i, j := 0, 0
+		for i < len(ta) && j < len(tb) {
+			switch {
+			case ta[i] == tb[j]:
+				inter++
+				i++
+				j++
+			case ta[i] < tb[j]:
+				i++
+			default:
+				j++
+			}
 		}
 	}
 	union := len(ta) + len(tb) - inter
@@ -85,32 +188,27 @@ func (tj *TypeJaccard) Score(a, b kg.EntityID) float64 {
 // EmbeddingCosine scores entities by the cosine similarity of their
 // embedding vectors, clamped to [0, 1] to satisfy the σ contract (negative
 // cosine means "unrelated", not "negatively relevant"). Vectors are
-// unit-normalized once at construction so Score is a single dot product.
-// Entities without an embedding have similarity 0 to everything but
-// themselves.
+// unit-normalized once at construction into a single contiguous arena
+// (embedding.Store.Normalized), so Score is one dot product over two
+// cache-adjacent slices. Entities without an embedding have similarity 0
+// to everything but themselves.
 type EmbeddingCosine struct {
-	store *embedding.Store
-	norm  []embedding.Vector // normalized copies; nil when absent
+	norm *embedding.Store // unit-normalized arena copy of the source store
 }
 
 // NewEmbeddingCosine precomputes unit-normalized vectors from store.
 func NewEmbeddingCosine(g *kg.Graph, store *embedding.Store) *EmbeddingCosine {
-	ec := &EmbeddingCosine{store: store, norm: make([]embedding.Vector, g.NumEntities())}
-	for e := kg.EntityID(0); int(e) < g.NumEntities(); e++ {
-		if v, ok := store.Get(e); ok {
-			c := append(embedding.Vector(nil), v...)
-			ec.norm[e] = embedding.Normalize(c)
-		}
-	}
-	return ec
+	return &EmbeddingCosine{norm: store.Normalized()}
 }
 
 // Vector returns the unit-normalized embedding of e, or nil when absent.
+// The slice aliases the arena and must not be modified.
 func (ec *EmbeddingCosine) Vector(e kg.EntityID) embedding.Vector {
-	if int(e) >= len(ec.norm) {
+	v, ok := ec.norm.Get(e)
+	if !ok {
 		return nil
 	}
-	return ec.norm[e]
+	return v
 }
 
 // Score implements Similarity.

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+// internFixture builds a graph with extraTypes padding types beyond the
+// ones entities actually use, so the same entity/type structure can be
+// evaluated under both the bitset (small taxonomy) and linear-merge (large
+// taxonomy) intersection paths.
+func internFixture(extraTypes int) *kg.Graph {
+	g := kg.NewGraph()
+	ts := make([]kg.TypeID, 6)
+	for i := range ts {
+		ts[i] = g.AddType(fmt.Sprintf("t%d", i), "")
+	}
+	for i := 0; i < extraTypes; i++ {
+		g.AddType(fmt.Sprintf("pad%d", i), "")
+	}
+	add := func(types ...kg.TypeID) kg.EntityID {
+		e := g.AddEntity(fmt.Sprintf("e%d", g.NumEntities()), "")
+		for _, t := range types {
+			g.AssignType(e, t)
+		}
+		return e
+	}
+	add(ts[0], ts[1], ts[2]) // e0
+	add(ts[0], ts[1], ts[2]) // e1: same set as e0
+	add(ts[1], ts[2], ts[3]) // e2: Jaccard 2/4 with e0
+	add(ts[4])               // e3: disjoint from e0
+	add()                    // e4: untyped
+	return g
+}
+
+func TestTypeJaccardInternsDuplicateSets(t *testing.T) {
+	tj := NewTypeJaccard(internFixture(0))
+	s0, s1 := tj.TypeSet(0), tj.TypeSet(1)
+	if len(s0) == 0 || &s0[0] != &s1[0] {
+		t.Fatal("entities with equal type sets must share one canonical slice")
+	}
+	if tj.SetID(0) != tj.SetID(1) {
+		t.Fatalf("SetID(0)=%d != SetID(1)=%d for equal sets", tj.SetID(0), tj.SetID(1))
+	}
+	if tj.SetID(0) == tj.SetID(2) {
+		t.Fatal("different sets share a SetID")
+	}
+	if tj.SetID(4) != -1 {
+		t.Fatalf("untyped entity SetID = %d, want -1", tj.SetID(4))
+	}
+	if tj.SetID(kg.EntityID(999)) != -1 {
+		t.Fatal("out-of-range SetID must be -1")
+	}
+	// e0/e1, e2, e3 — three distinct non-empty sets.
+	if tj.NumTypeSets() != 3 {
+		t.Fatalf("NumTypeSets = %d, want 3", tj.NumTypeSets())
+	}
+	// Same set ID short-circuits to the cap without an element walk.
+	if got := tj.Score(0, 1); got != MaxJaccard {
+		t.Fatalf("equal-set score = %v, want %v", got, MaxJaccard)
+	}
+}
+
+// The bitset popcount path (taxonomy ≤ bitsetMaxTypes) and the linear
+// merge path (larger taxonomies) must agree exactly on every pair.
+func TestTypeJaccardBitsetMatchesMerge(t *testing.T) {
+	small := NewTypeJaccard(internFixture(0))
+	big := NewTypeJaccard(internFixture(bitsetMaxTypes)) // pushes NumTypes past the bitset bound
+	for a := kg.EntityID(0); a < 5; a++ {
+		for b := kg.EntityID(0); b < 5; b++ {
+			if sv, bv := small.Score(a, b), big.Score(a, b); sv != bv {
+				t.Errorf("Score(%d,%d): bitset %v != merge %v", a, b, sv, bv)
+			}
+		}
+	}
+	if got, want := small.Score(0, 2), 0.5; got != want {
+		t.Errorf("Score(0,2) = %v, want %v (|∩|=2, |∪|=4)", got, want)
+	}
+	if got := small.Score(0, 3); got != 0 {
+		t.Errorf("disjoint sets score = %v, want 0", got)
+	}
+}

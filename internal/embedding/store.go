@@ -61,6 +61,26 @@ func (s *Store) Get(e kg.EntityID) (Vector, bool) {
 	return Vector(s.data[int(e)*s.dim : (int(e)+1)*s.dim]), true
 }
 
+// Normalized returns a new store holding unit-normalized copies of every
+// vector, in one contiguous arena indexed by the same dense entity IDs.
+// Similarity kernels that reduce cosine to a single dot product (σ of
+// Section 4.1) build their lookup table with this: the arena layout keeps
+// consecutive entity vectors cache-adjacent, and the dense index replaces
+// a per-entity allocation per vector. Zero vectors stay zero.
+func (s *Store) Normalized() *Store {
+	ns := &Store{
+		dim:  s.dim,
+		data: append([]float32(nil), s.data...),
+		has:  append([]bool(nil), s.has...),
+	}
+	for e, h := range ns.has {
+		if h {
+			Normalize(ns.data[e*ns.dim : (e+1)*ns.dim])
+		}
+	}
+	return ns
+}
+
 // Similarity returns the cosine similarity of two entities' embeddings and
 // whether both embeddings exist.
 func (s *Store) Similarity(a, b kg.EntityID) (float64, bool) {

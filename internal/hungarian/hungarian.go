@@ -1,7 +1,18 @@
 // Package hungarian solves the linear assignment problem with the Hungarian
-// method (Kuhn–Munkres, potentials formulation, O(n²·m)). Thetis uses it to
-// map query-tuple entities to table columns such that the summed
-// column-relevance score is maximized (Section 5.1 of the paper).
+// method (Kuhn–Munkres, potentials formulation, O(n²·m) for an n×m matrix
+// with n ≤ m; the transpose is solved when n > m). Thetis uses it to map
+// query-tuple entities to table columns such that the summed
+// column-relevance score is maximized — the mapping µ of Section 5.1 of the
+// paper, whose optimality the greedy-mapping ablation (core.MappingGreedy)
+// quantifies.
+//
+// The solver is exact and deterministic, which matters beyond correctness:
+// the scoring pipeline memoizes entity similarities across workers
+// (core.SigmaCache) under the guarantee that identical inputs produce
+// identical assignments, so ranked results cannot depend on scheduling.
+// Callers hand the same score-matrix rows to repeated solves (rows may
+// alias each other when query tuples repeat entities); the solver treats
+// the matrix as read-only.
 package hungarian
 
 import "math"
@@ -53,7 +64,11 @@ func Maximize(score [][]float64) []int {
 	return out
 }
 
-// TotalScore sums the score of an assignment produced by Maximize.
+// TotalScore sums the score of an assignment over the given matrix:
+// Σ score[i][assignment[i]] across assigned rows (unassigned rows, -1,
+// contribute nothing). It accepts any assignment shape Maximize or a
+// greedy alternative produces, so ablations can compare solvers on the
+// same objective.
 func TotalScore(score [][]float64, assignment []int) float64 {
 	var total float64
 	for i, j := range assignment {
@@ -77,6 +92,12 @@ func negate(score [][]float64, n, m int) [][]float64 {
 
 // minCostAssign solves min-cost assignment for an n×m cost matrix with
 // n ≤ m, assigning every row. It returns per-row column indexes.
+//
+// This is the dual (potentials) formulation: u/v are row/column potentials
+// kept feasible (u[i]+v[j] ≤ cost[i][j]); each outer iteration grows the
+// matching by one row via a shortest augmenting path over reduced costs
+// (minv tracks the frontier, way the path). 1-based indexing with column 0
+// as the virtual start keeps the augmenting walk branch-free.
 func minCostAssign(a [][]float64, n, m int) []int {
 	const inf = math.MaxFloat64
 	u := make([]float64, n+1)

@@ -1,0 +1,64 @@
+package kg
+
+// Type-set interning. Entity type sets in a real knowledge graph are
+// heavily skewed: a handful of (expanded) type combinations — "baseball
+// player", "settlement", "company" — cover almost every entity. Storing one
+// canonical copy of each distinct set collapses the memory of the
+// duplicates and, just as importantly, gives every set a small dense ID
+// that similarity kernels can compare and index by (two entities with the
+// same set ID have Jaccard 1 without touching the elements).
+
+// TypeSetInterner deduplicates sorted type sets, handing out one canonical
+// shared slice plus a dense set ID per distinct set. It is the shared-
+// pointer dedup table built at load time that backs core.TypeJaccard's
+// interned representation.
+//
+// An interner is not safe for concurrent writers; intern everything during
+// load, then share the canonical slices freely among concurrent readers
+// (they must never be modified).
+type TypeSetInterner struct {
+	index map[string]int32
+	sets  [][]TypeID
+}
+
+// NewTypeSetInterner returns an empty interner.
+func NewTypeSetInterner() *TypeSetInterner {
+	return &TypeSetInterner{index: make(map[string]int32)}
+}
+
+// setKey encodes a type set as a map key (4 bytes per ID, little endian).
+func setKey(ts []TypeID) string {
+	buf := make([]byte, 0, 4*len(ts))
+	for _, t := range ts {
+		buf = append(buf, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+	}
+	return string(buf)
+}
+
+// Intern canonicalizes ts, which must be sorted and deduplicated (the form
+// Graph.ExpandedTypes and Graph.Types produce). The first time a set is
+// seen its elements are copied into an interner-owned slice; every later
+// call with an equal set returns that same slice and ID. The empty set is
+// a valid set with its own ID.
+func (in *TypeSetInterner) Intern(ts []TypeID) ([]TypeID, int32) {
+	key := setKey(ts)
+	if id, ok := in.index[key]; ok {
+		return in.sets[id], id
+	}
+	id := int32(len(in.sets))
+	canonical := append([]TypeID(nil), ts...)
+	in.sets = append(in.sets, canonical)
+	in.index[key] = id
+	return canonical, id
+}
+
+// NumSets returns the number of distinct sets interned so far.
+func (in *TypeSetInterner) NumSets() int { return len(in.sets) }
+
+// Set returns the canonical slice for a set ID issued by Intern. The slice
+// is owned by the interner and must not be modified.
+func (in *TypeSetInterner) Set(id int32) []TypeID { return in.sets[id] }
+
+// Sets returns all canonical sets indexed by set ID. The outer and inner
+// slices are owned by the interner and must not be modified.
+func (in *TypeSetInterner) Sets() [][]TypeID { return in.sets }

@@ -1,0 +1,69 @@
+package kg
+
+import "testing"
+
+func TestTypeSetInternerDedup(t *testing.T) {
+	in := NewTypeSetInterner()
+	a1, id1 := in.Intern([]TypeID{1, 2, 5})
+	a2, id2 := in.Intern([]TypeID{1, 2, 5})
+	if id1 != id2 {
+		t.Fatalf("equal sets got different IDs %d / %d", id1, id2)
+	}
+	if &a1[0] != &a2[0] {
+		t.Fatal("equal sets must share one canonical backing array")
+	}
+	b, idB := in.Intern([]TypeID{1, 2, 6})
+	if idB == id1 {
+		t.Fatal("different sets share an ID")
+	}
+	if &b[0] == &a1[0] {
+		t.Fatal("different sets share a backing array")
+	}
+	if in.NumSets() != 2 {
+		t.Fatalf("NumSets = %d, want 2", in.NumSets())
+	}
+}
+
+func TestTypeSetInternerCopiesInput(t *testing.T) {
+	in := NewTypeSetInterner()
+	src := []TypeID{3, 9}
+	canon, id := in.Intern(src)
+	src[0] = 77 // caller scribbles over its scratch buffer
+	if canon[0] != 3 {
+		t.Fatal("canonical slice aliases the caller's input")
+	}
+	if got := in.Set(id); got[0] != 3 || got[1] != 9 {
+		t.Fatalf("Set(%d) = %v, want [3 9]", id, got)
+	}
+}
+
+func TestTypeSetInternerEmptySet(t *testing.T) {
+	in := NewTypeSetInterner()
+	_, idEmpty := in.Intern(nil)
+	_, idEmpty2 := in.Intern([]TypeID{})
+	if idEmpty != idEmpty2 {
+		t.Fatal("nil and empty slice must intern to the same set")
+	}
+	if got := in.Set(idEmpty); len(got) != 0 {
+		t.Fatalf("empty set = %v", got)
+	}
+	// IDs are dense in intern order.
+	_, idNext := in.Intern([]TypeID{0})
+	if idEmpty != 0 || idNext != 1 {
+		t.Fatalf("IDs not dense: %d, %d", idEmpty, idNext)
+	}
+	if got := in.Sets(); len(got) != 2 {
+		t.Fatalf("Sets() has %d entries, want 2", len(got))
+	}
+}
+
+// Type IDs differing only in the high bytes must not collide in the
+// encoded map key.
+func TestTypeSetInternerWideIDs(t *testing.T) {
+	in := NewTypeSetInterner()
+	_, idLow := in.Intern([]TypeID{1})
+	_, idHigh := in.Intern([]TypeID{1 << 24})
+	if idLow == idHigh {
+		t.Fatal("high-byte type IDs collided in the intern key")
+	}
+}

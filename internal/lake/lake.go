@@ -1,13 +1,25 @@
 // Package lake implements the data-lake corpus store: a collection of
 // tables with dense table IDs, entity→table posting lists, and the corpus
-// statistics reported in Table 2 of the paper. Together with a kg.Graph and
-// the entity annotations on cells it forms the Semantic Data Lake of
-// Definition 2.1.
+// statistics reported in Table 2 of the paper. Together with a kg.Graph
+// and the entity annotations on cells it forms the Semantic Data Lake of
+// Definition 2.1 — the pair (catalog of tables, partial cell→entity
+// mapping Φ) every search runs against.
+//
+// Besides raw storage the lake maintains the derived read-side structures
+// the search pipeline needs: posting lists from entities to the tables
+// mentioning them (the Φ⁻¹ direction, which both the LSEI prefilter votes
+// and the IDF informativeness weighting consume), per-entity table
+// frequencies, and lazily built per-table column indexes
+// (table.ColumnIndex) that let the scorer fold a column by distinct
+// entities instead of raw cells. All of it is append-only: tables can be
+// added, never removed, and a Lake is safe for concurrent readers once
+// ingestion has finished.
 package lake
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"thetis/internal/kg"
 	"thetis/internal/table"
@@ -28,6 +40,9 @@ type Lake struct {
 	// entityFreq counts, per entity, the number of tables that mention it;
 	// this drives the informativeness weight I(e).
 	entityFreq map[kg.EntityID]int
+	// colIndex holds one lazily built column index slot per table,
+	// index-aligned with tables.
+	colIndex []*atomic.Pointer[table.ColumnIndex]
 }
 
 // New creates an empty lake over graph g.
@@ -45,6 +60,7 @@ func New(g *kg.Graph) *Lake {
 func (l *Lake) Add(t *table.Table) TableID {
 	id := TableID(len(l.tables))
 	l.tables = append(l.tables, t)
+	l.colIndex = append(l.colIndex, &atomic.Pointer[table.ColumnIndex]{})
 	for _, e := range t.Entities() {
 		l.postings[e] = append(l.postings[e], id)
 		l.entityFreq[e]++
@@ -64,6 +80,23 @@ func (l *Lake) Tables() []*table.Table { return l.tables }
 // TablesWith returns the IDs of tables mentioning entity e, in ID order.
 // The slice is owned by the lake and must not be modified.
 func (l *Lake) TablesWith(e kg.EntityID) []TableID { return l.postings[e] }
+
+// ColumnIndex returns the per-column entity aggregation of table id,
+// building it on first use and memoizing it for every later query (the
+// scoring hot path folds columns through it instead of iterating raw
+// cells). Concurrent first calls may build the index twice; both results
+// are identical and one wins benignly. The index snapshots the table's
+// annotations, consistent with the lake's own "re-ingest to update"
+// contract.
+func (l *Lake) ColumnIndex(id TableID) *table.ColumnIndex {
+	slot := l.colIndex[int(id)]
+	if ci := slot.Load(); ci != nil {
+		return ci
+	}
+	ci := table.BuildColumnIndex(l.tables[int(id)])
+	slot.Store(ci)
+	return ci
+}
 
 // EntityFrequency returns the number of tables mentioning entity e.
 func (l *Lake) EntityFrequency(e kg.EntityID) int { return l.entityFreq[e] }

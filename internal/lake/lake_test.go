@@ -110,3 +110,34 @@ func TestEntityCountedOncePerTable(t *testing.T) {
 		t.Errorf("postings = %v, want one entry", posts)
 	}
 }
+
+func TestColumnIndexMemoized(t *testing.T) {
+	l, _ := buildLake(t)
+	ci1 := l.ColumnIndex(0)
+	ci2 := l.ColumnIndex(0)
+	if ci1 == nil || ci1 != ci2 {
+		t.Fatal("ColumnIndex must return one memoized index per table")
+	}
+	if ci1 == l.ColumnIndex(1) {
+		t.Fatal("tables must not share a column index")
+	}
+	// The index reflects the table's annotations: t1 has one linked entity
+	// per column.
+	if len(ci1.Cols) != 2 || ci1.Cols[0].Linked != 1 || len(ci1.Cols[0].Entities) != 1 {
+		t.Fatalf("t1 index = %+v", ci1)
+	}
+}
+
+func TestColumnIndexConcurrentFirstUse(t *testing.T) {
+	l, _ := buildLake(t)
+	results := make(chan *table.ColumnIndex, 8)
+	for i := 0; i < 8; i++ {
+		go func() { results <- l.ColumnIndex(1) }()
+	}
+	for i := 0; i < 8; i++ {
+		ci := <-results
+		if ci == nil || len(ci.Cols) != 2 {
+			t.Fatalf("concurrent first build returned %+v", ci)
+		}
+	}
+}

@@ -39,6 +39,35 @@ func SearchTruncatedTotal() *Counter {
 		"Searches truncated by context cancellation or deadline, returning partial results.", nil)
 }
 
+// SigmaCacheHitsTotal counts σ evaluations served from the query-scoped
+// similarity cache (docs/PERFORMANCE.md).
+func SigmaCacheHitsTotal() *Counter {
+	return Default.Counter("thetis_sigma_cache_hits_total",
+		"Entity-similarity lookups served from the query-scoped sigma cache.", nil)
+}
+
+// SigmaCacheMissesTotal counts σ evaluations computed and filled into the
+// query-scoped similarity cache (≈ distinct query-entity × corpus-entity
+// pairs touched; racing workers may double-fill a cell).
+func SigmaCacheMissesTotal() *Counter {
+	return Default.Counter("thetis_sigma_cache_misses_total",
+		"Entity-similarity lookups computed and memoized by the query-scoped sigma cache.", nil)
+}
+
+// SigmaCacheBytes gauges the memory reserved by the most recent search's
+// sigma cache (dense mode reserves its full slab footprint up front).
+func SigmaCacheBytes() *Gauge {
+	return Default.Gauge("thetis_sigma_cache_bytes",
+		"Memory reserved by the most recent query's sigma cache.", nil)
+}
+
+// SigmaCacheHitRatio gauges the hit ratio of the most recent search's
+// sigma cache (hits / lookups).
+func SigmaCacheHitRatio() *Gauge {
+	return Default.Gauge("thetis_sigma_cache_hit_ratio",
+		"Sigma-cache hit ratio of the most recent search.", nil)
+}
+
 // PrefilterQueriesTotal counts LSEI candidate-set computations.
 func PrefilterQueriesTotal() *Counter {
 	return Default.Counter("thetis_prefilter_queries_total",

@@ -1,0 +1,57 @@
+package table
+
+import "thetis/internal/kg"
+
+// ColumnEntityStats summarizes one column for the scoring hot path: the
+// distinct linked entities of the column (in first-occurrence row order,
+// so derived iteration is deterministic) and, parallel to them, how many
+// cells each one occupies.
+type ColumnEntityStats struct {
+	// Entities are the distinct linked entities of the column.
+	Entities []kg.EntityID
+	// Counts[i] is the number of cells linked to Entities[i].
+	Counts []int32
+	// Linked is the total number of linked cells (the sum of Counts).
+	Linked int
+}
+
+// ColumnIndex pre-aggregates a table's entity annotations per column, so
+// that per-row folds over a column (the MAX/AVG row aggregation of
+// Algorithm 1, and the score-matrix sums of the column mapping) iterate
+// distinct entities with multiplicities instead of raw cells. Columns of a
+// table repeat few distinct entities, so this is usually much smaller than
+// the table itself.
+//
+// A ColumnIndex is immutable after construction and safe for concurrent
+// readers. It snapshots the annotations at build time; like a lake's
+// posting lists, it does not see rows or links added afterwards.
+type ColumnIndex struct {
+	// Cols holds one entry per table column, index-aligned with the
+	// table's attributes.
+	Cols []ColumnEntityStats
+}
+
+// BuildColumnIndex scans t once and aggregates its entity annotations per
+// column.
+func BuildColumnIndex(t *Table) *ColumnIndex {
+	ci := &ColumnIndex{Cols: make([]ColumnEntityStats, t.NumColumns())}
+	for j := range ci.Cols {
+		cs := &ci.Cols[j]
+		pos := make(map[kg.EntityID]int)
+		for _, row := range t.Rows {
+			e, ok := row[j].EntityID()
+			if !ok {
+				continue
+			}
+			cs.Linked++
+			if i, seen := pos[e]; seen {
+				cs.Counts[i]++
+				continue
+			}
+			pos[e] = len(cs.Entities)
+			cs.Entities = append(cs.Entities, e)
+			cs.Counts = append(cs.Counts, 1)
+		}
+	}
+	return ci
+}

@@ -1,0 +1,40 @@
+package table
+
+import (
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+func TestBuildColumnIndex(t *testing.T) {
+	tb := New("t", []string{"a", "b"})
+	tb.AppendRow([]Cell{LinkedCell("x", 7), {Value: "-"}})
+	tb.AppendRow([]Cell{LinkedCell("y", 3), LinkedCell("z", 7)})
+	tb.AppendRow([]Cell{LinkedCell("x", 7), {Value: "-"}})
+	ci := BuildColumnIndex(tb)
+	if len(ci.Cols) != 2 {
+		t.Fatalf("Cols = %d, want 2", len(ci.Cols))
+	}
+	a := ci.Cols[0]
+	// Distinct entities in first-occurrence order, with multiplicities.
+	if len(a.Entities) != 2 || a.Entities[0] != 7 || a.Entities[1] != 3 {
+		t.Fatalf("col a entities = %v, want [7 3]", a.Entities)
+	}
+	if a.Counts[0] != 2 || a.Counts[1] != 1 {
+		t.Fatalf("col a counts = %v, want [2 1]", a.Counts)
+	}
+	if a.Linked != 3 {
+		t.Fatalf("col a linked = %d, want 3", a.Linked)
+	}
+	b := ci.Cols[1]
+	if len(b.Entities) != 1 || b.Entities[0] != kg.EntityID(7) || b.Counts[0] != 1 || b.Linked != 1 {
+		t.Fatalf("col b = %+v", b)
+	}
+}
+
+func TestBuildColumnIndexEmptyTable(t *testing.T) {
+	ci := BuildColumnIndex(New("empty", []string{"a"}))
+	if len(ci.Cols) != 1 || len(ci.Cols[0].Entities) != 0 || ci.Cols[0].Linked != 0 {
+		t.Fatalf("empty table index = %+v", ci)
+	}
+}

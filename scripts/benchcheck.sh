@@ -1,0 +1,52 @@
+#!/bin/sh
+# benchcheck — paired σ-cache regression benchmark (docs/PERFORMANCE.md).
+#
+# Runs the BruteTypes case of BenchmarkSearchBruteVsLSH with the default
+# build (query-scoped similarity cache on) and with the `nosigmacache`
+# escape hatch, takes the best-of-N ns/op for each, and fails when the
+# cached build is more than MAX_REGRESSION_PCT slower than the uncached
+# one — the canary for the cache turning into overhead. The cached build
+# is normally far *faster*; this guard is one-sided on purpose so noisy
+# runners don't flake on the size of the win.
+#
+# Usage: scripts/benchcheck.sh [count]   (default 5 runs per build)
+set -eu
+
+COUNT="${1:-5}"
+BENCH='^BenchmarkSearchBruteVsLSH$/^BruteTypes$'
+MAX_REGRESSION_PCT=5
+
+best_nsop() {
+    # $1: extra go test args. Prints the minimum ns/op across $COUNT runs.
+    # shellcheck disable=SC2086  # word-splitting of $1 is intended
+    go test -run '^$' -bench "$BENCH" -benchtime 2x -count "$COUNT" $1 . |
+        awk '/BruteTypes/ { for (i = 1; i <= NF; i++) if ($(i+1) == "ns/op") print $i }' |
+        sort -n | head -1
+}
+
+echo "benchcheck: $COUNT runs per build, best-of (bench: $BENCH)"
+cached=$(best_nsop "")
+uncached=$(best_nsop "-tags nosigmacache")
+
+if [ -z "$cached" ] || [ -z "$uncached" ]; then
+    echo "benchcheck: FAILED to parse benchmark output" >&2
+    exit 2
+fi
+
+echo "benchcheck: cached   best $cached ns/op"
+echo "benchcheck: uncached best $uncached ns/op (-tags nosigmacache)"
+
+# Fail if cached > uncached * (1 + MAX_REGRESSION_PCT/100), integer math.
+limit=$((uncached + uncached * MAX_REGRESSION_PCT / 100))
+if [ "$cached" -gt "$limit" ]; then
+    pct=$(( (cached - uncached) * 100 / uncached ))
+    echo "benchcheck: FAIL — cached build is ${pct}% slower than the nosigmacache escape hatch (limit ${MAX_REGRESSION_PCT}%)" >&2
+    exit 1
+fi
+
+if [ "$cached" -lt "$uncached" ]; then
+    speedup=$(( (uncached - cached) * 100 / uncached ))
+    echo "benchcheck: OK — cached build ${speedup}% faster"
+else
+    echo "benchcheck: OK — within the ${MAX_REGRESSION_PCT}% regression budget"
+fi

@@ -22,6 +22,13 @@ func TestSearchContextDeadlineOnFullCorpus(t *testing.T) {
 	eng := core.NewEngine(env.Lake, env.TJ)
 	q := env.Queries5[0].Query
 
+	// The lake memoizes per-table column indexes on first use
+	// (docs/PERFORMANCE.md §4), so a cold search is slower than every
+	// search after it. Warm the corpus first: the deadline below is scaled
+	// from the calibration search's TotalTime and must reflect the
+	// steady-state speed of the timed search, not one-time build cost.
+	eng.Search(q, -1)
+
 	// Serial reference over the full corpus for score verification, and
 	// proof that an unbounded search takes real time on this corpus.
 	full, fullStats := eng.Search(q, -1)
