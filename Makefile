@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchcheck fuzz faults
+.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck
 
 all: check
 
@@ -26,7 +26,16 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build race
+# Docs link checker: every relative markdown link must resolve to a file.
+linkcheck:
+	$(GO) test -run '^TestDocLinks$$' .
+
+# Shard-count invariance battery under the race detector (docs/SHARDING.md):
+# sharded rankings must be bit-identical to unsharded ones, concurrently.
+shardcheck:
+	$(GO) test -race -run '^Test(Shard|Coordinator)' . ./internal/shard
+
+check: fmt vet build race linkcheck shardcheck
 
 # Replays every fuzz target's seed corpus (f.Add seeds + testdata/fuzz/)
 # as a fast regression suite. Live exploration happens in CI and via

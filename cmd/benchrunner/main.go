@@ -10,6 +10,7 @@
 //	benchrunner -tables 20000 -queries 50   # approach the paper's scale
 //	benchrunner -list                # list experiment IDs
 //	benchrunner -exp table3 -sigmacache=false   # paired σ-cache runs
+//	benchrunner -exp shards -shards 8    # scatter-gather sweep up to 8 shards
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	sigmacache := flag.Bool("sigmacache", true,
 		"enable the query-scoped similarity cache (pass -sigmacache=false for paired runs, see docs/PERFORMANCE.md)")
+	shards := flag.Int("shards", 0,
+		"largest shard count the scatter-gather experiment sweeps (0 = default, see docs/SHARDING.md)")
 	flag.Parse()
 
 	core.SetSigmaCacheEnabled(*sigmacache)
@@ -54,6 +57,9 @@ func main() {
 	}
 	if *queries > 0 {
 		cfg.Queries = *queries
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
 	}
 
 	start := time.Now()

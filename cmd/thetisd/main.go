@@ -3,9 +3,17 @@
 //
 //	thetisd -kg bench/kg.nt -corpus bench/corpus.jsonl -addr :8080 \
 //	        [-sim types|embeddings] [-embfile embeddings.bin] \
+//	        [-shards 1] [-shard-by hash|size] \
 //	        [-lsh] [-votes 3] [-vectors 30] [-band 10] [-indexfile index.bin] \
 //	        [-lenient-ingest] [-ingest-budget N] [-max-line BYTES] \
 //	        [-timeout 10s] [-max-inflight 64] [-drain 30s] [-pprof]
+//
+// Sharded serving (docs/SHARDING.md): -shards N partitions the corpus into
+// N in-process shards (-shard-by picks hash or size-balanced placement)
+// searched by scatter-gather; rankings are identical to -shards 1, and each
+// shard's LSEI builds and hot-swaps independently (per-shard states on
+// /readyz and thetis_shard_* metrics). -indexfile requires -shards 1:
+// snapshots cover one unsharded index.
 //
 // Request lifecycle: every search-type request runs under -timeout (an
 // expiring search returns its partial ranking marked "truncated"), at most
@@ -32,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -52,6 +61,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	sim := flag.String("sim", "types", "similarity: types | embeddings")
 	embFile := flag.String("embfile", "", "embeddings file (for -sim embeddings)")
+	shards := flag.Int("shards", 1, "in-process shard count for scatter-gather serving (1 = unsharded)")
+	shardBy := flag.String("shard-by", "hash", "partitioning strategy for -shards > 1: hash | size")
 	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering")
 	votes := flag.Int("votes", 3, "LSH vote threshold")
 	vectors := flag.Int("vectors", 30, "LSH permutations/projections")
@@ -81,9 +92,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -shards must be >= 1 (got %d)\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shardBy != "hash" && *shardBy != "size" {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -shard-by must be hash or size (got %q)\n", *shardBy)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards > 1 && *indexFile != "" {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -indexfile requires -shards 1 (snapshots cover one unsharded index)\n")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	report := thetis.NewIngestReport()
-	sys := load(*kgPath, *corpusPath, thetis.IngestOptions{
+	sys, single, sharded := load(*kgPath, *corpusPath, *shards, *shardBy, thetis.IngestOptions{
 		Lenient:      *lenient,
 		MaxLineBytes: *maxLine,
 		ErrorBudget:  *budget,
@@ -127,11 +153,17 @@ func main() {
 		server.WithMaxInFlight(*maxInflight),
 		server.WithIngestReport(report),
 	}
-	var ready *server.Readiness
-	if *useLSH {
+	if *useLSH && sharded != nil {
+		// Sharded: every shard's index builds in the background and
+		// hot-swaps independently; /readyz reports the per-shard lifecycle.
+		rds := server.NewShardReadinesses(nil, sharded.NumShards())
+		opts = append(opts, server.WithShardReadiness(rds))
+		done := server.ActivateShardIndexes(sharded, rds, cfg, *votes)
+		go logShardActivation(rds, done)
+	} else if *useLSH {
 		// Serve immediately — brute force while the index builds in the
 		// background (or loads from a snapshot), then hot-swap.
-		ready = server.NewReadiness(nil)
+		ready := server.NewReadiness(nil)
 		opts = append(opts, server.WithReadiness(ready))
 		var snapshot *os.File
 		if *indexFile != "" {
@@ -142,7 +174,7 @@ func main() {
 			snapshot = f
 		}
 		if snapshot != nil {
-			done := server.ActivateIndex(sys, ready, cfg, *votes, bufio.NewReader(snapshot))
+			done := server.ActivateIndex(single, ready, cfg, *votes, bufio.NewReader(snapshot))
 			snapshot.Close()
 			// A rejected snapshot parks the state at degraded before the
 			// background rebuild starts; surface that in the log so disk
@@ -152,7 +184,7 @@ func main() {
 			}
 			go logActivation(ready, done)
 		} else {
-			done := server.ActivateIndex(sys, ready, cfg, *votes, nil)
+			done := server.ActivateIndex(single, ready, cfg, *votes, nil)
 			go logActivation(ready, done)
 		}
 	}
@@ -163,8 +195,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving %d tables on %s (metrics on /metrics, timeout %v, max in-flight %d)",
-		sys.NumTables(), *addr, *timeout, *maxInflight)
+	if sharded != nil {
+		log.Printf("serving %d tables across %d shards (%s-partitioned) on %s (metrics on /metrics, timeout %v, max in-flight %d)",
+			sys.NumTables(), sharded.NumShards(), *shardBy, *addr, *timeout, *maxInflight)
+	} else {
+		log.Printf("serving %d tables on %s (metrics on /metrics, timeout %v, max in-flight %d)",
+			sys.NumTables(), *addr, *timeout, *maxInflight)
+	}
 	if err := server.Run(ctx, *addr, server.New(sys, opts...), *drain); err != nil {
 		log.Fatal(err)
 	}
@@ -182,7 +219,41 @@ func logActivation(ready *server.Readiness, done <-chan error) {
 	log.Printf("index ready: %s", detail)
 }
 
-func load(kgPath, corpusPath string, opts thetis.IngestOptions) *thetis.System {
+// logShardActivation is logActivation's sharded variant: it reports how
+// many shard indexes landed once every build has finished.
+func logShardActivation(rds []*server.Readiness, done <-chan error) {
+	err := <-done
+	ready := 0
+	for _, rd := range rds {
+		if rd.State() == server.StateReady {
+			ready++
+		}
+	}
+	if err != nil {
+		log.Printf("shard index activation: %d/%d shards ready, first failure: %v (failed shards serve brute force)",
+			ready, len(rds), err)
+		return
+	}
+	log.Printf("shard indexes ready: %d/%d", ready, len(rds))
+}
+
+// backend is the daemon's view of a lake system: everything the HTTP layer
+// needs (server.Backend) plus the configuration surface main exercises
+// before serving. Both *thetis.System and *thetis.ShardedSystem satisfy it.
+type backend interface {
+	server.Backend
+	IngestCorpus(r io.Reader, opts thetis.IngestOptions) (int, error)
+	UseTypeSimilarity()
+	UseEmbeddingSimilarity()
+	TrainEmbeddings(w thetis.WalkConfig, t thetis.TrainConfig) *thetis.EmbeddingStore
+	LoadEmbeddings(r io.Reader) error
+	BuildKeywordIndex()
+}
+
+// load builds the graph and ingests the corpus into either an unsharded
+// System (shards == 1) or a ShardedSystem. Exactly one of the two concrete
+// returns is non-nil; sys aliases it as the shared configuration surface.
+func load(kgPath, corpusPath string, shards int, shardBy string, opts thetis.IngestOptions) (sys backend, single *thetis.System, sharded *thetis.ShardedSystem) {
 	g := thetis.NewGraph()
 	kf, err := os.Open(kgPath)
 	if err != nil {
@@ -204,7 +275,20 @@ func load(kgPath, corpusPath string, opts thetis.IngestOptions) *thetis.System {
 		log.Fatalf("loading KG %s: %v", kgPath, err)
 	}
 
-	sys := thetis.New(g)
+	if shards > 1 {
+		var part thetis.Partitioner
+		switch shardBy {
+		case "size":
+			part = thetis.NewBalancedPartitioner(shards)
+		default:
+			part = thetis.NewHashPartitioner(shards)
+		}
+		sharded = thetis.NewShardedSystem(g, part)
+		sys = sharded
+	} else {
+		single = thetis.New(g)
+		sys = single
+	}
 	cf, err := os.Open(corpusPath)
 	if err != nil {
 		log.Fatal(err)
@@ -214,5 +298,5 @@ func load(kgPath, corpusPath string, opts thetis.IngestOptions) *thetis.System {
 	if _, err := sys.IngestCorpus(bufio.NewReaderSize(cf, 1<<20), opts); err != nil {
 		log.Fatalf("corpus %s: %v", corpusPath, err)
 	}
-	return sys
+	return sys, single, sharded
 }

@@ -1,0 +1,76 @@
+package thetis
+
+// Documentation link checker (wired into `make check` as linkcheck): every
+// relative markdown link in the repo's .md files must resolve to an
+// existing file or directory, so docs cannot silently drift as files move.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and intentionally not matched.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || strings.HasPrefix(name, ".claude") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found — is the test running from the repo root?")
+	}
+
+	checked := 0
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			// External links, mail links, and intra-document anchors are out
+			// of scope; this checker keeps *file* references honest.
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip a fragment: docs/FOO.md#section must check docs/FOO.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked — regex or corpus changed?")
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
+}

@@ -102,8 +102,22 @@ type LSEI struct {
 // BuildTypeLSEI indexes every distinct lake entity (or every table column)
 // by the MinHash signature of its type-pair shingles.
 func BuildTypeLSEI(l *lake.Lake, tj *TypeJaccard, cfg LSEIConfig) *LSEI {
+	return BuildTypeLSEIFiltered(l, tj, cfg, nil)
+}
+
+// BuildTypeLSEIFiltered is BuildTypeLSEI with an injected frequent-type
+// filter instead of one computed from l alone. Sharded deployments pass the
+// filter computed over the whole corpus (FrequentTypesOver) so every
+// shard's index drops exactly the types a global index would drop —
+// signatures, and therefore LSH collisions, then match the unsharded
+// system's bit for bit. A nil filter computes it from l (the single-lake
+// behavior).
+func BuildTypeLSEIFiltered(l *lake.Lake, tj *TypeJaccard, cfg LSEIConfig, filter map[kg.TypeID]bool) *LSEI {
 	if cfg.FrequentTypeThreshold == 0 {
 		cfg.FrequentTypeThreshold = 0.5
+	}
+	if filter == nil {
+		filter = FrequentTypesOver([]*lake.Lake{l}, tj, cfg.FrequentTypeThreshold)
 	}
 	x := &LSEI{
 		cfg:        cfg,
@@ -112,7 +126,7 @@ func BuildTypeLSEI(l *lake.Lake, tj *TypeJaccard, cfg LSEIConfig) *LSEI {
 		columnMode: cfg.ColumnAggregation,
 		minHash:    lsh.NewMinHasher(cfg.Vectors, cfg.Seed),
 		typeSets:   tj,
-		typeFilter: frequentTypes(l, tj, cfg.FrequentTypeThreshold),
+		typeFilter: filter,
 	}
 	if x.columnMode {
 		x.buildTypeColumns()
@@ -203,22 +217,29 @@ func (x *LSEI) AddTable(tid lake.TableID) {
 	}
 }
 
-// frequentTypes returns the types present in more than threshold of all
-// tables (computed over expanded type sets).
-func frequentTypes(l *lake.Lake, tj *TypeJaccard, threshold float64) map[kg.TypeID]bool {
+// FrequentTypesOver returns the types present in more than threshold of
+// all tables across the given lakes (computed over expanded type sets).
+// Since lakes partition disjoint table sets, counting across several lakes
+// equals counting over their union — this is how sharded deployments derive
+// the one global filter shared by every shard's LSEI.
+func FrequentTypesOver(lakes []*lake.Lake, tj *TypeJaccard, threshold float64) map[kg.TypeID]bool {
 	tableCount := make(map[kg.TypeID]int)
-	for _, t := range l.Tables() {
-		seen := make(map[kg.TypeID]bool)
-		for _, e := range t.Entities() {
-			for _, ty := range tj.TypeSet(e) {
-				seen[ty] = true
+	total := 0
+	for _, l := range lakes {
+		total += l.NumTables()
+		for _, t := range l.Tables() {
+			seen := make(map[kg.TypeID]bool)
+			for _, e := range t.Entities() {
+				for _, ty := range tj.TypeSet(e) {
+					seen[ty] = true
+				}
+			}
+			for ty := range seen {
+				tableCount[ty]++
 			}
 		}
-		for ty := range seen {
-			tableCount[ty]++
-		}
 	}
-	limit := threshold * float64(l.NumTables())
+	limit := threshold * float64(total)
 	out := make(map[kg.TypeID]bool)
 	for ty, c := range tableCount {
 		if float64(c) > limit {
@@ -474,3 +495,8 @@ func (x *LSEI) Reduction(candidates []lake.TableID) float64 {
 
 // NumBuckets exposes the underlying index's bucket count (diagnostics).
 func (x *LSEI) NumBuckets() int { return x.index.NumBuckets() }
+
+// NumItems exposes how many signatures the underlying index holds
+// (entities in entity mode, columns in column-aggregation mode) —
+// diagnostics for spotting imbalanced shards.
+func (x *LSEI) NumItems() int { return x.index.NumItems() }

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"thetis/internal/core"
+	"thetis/internal/lake"
+	"thetis/internal/shard"
+)
+
+// ShardsRow is one shard count of the scatter-gather sweep.
+type ShardsRow struct {
+	Shards int
+	// Mean and P50 are per-query latencies through the Coordinator.
+	Mean time.Duration
+	P50  time.Duration
+	// Delta is the relative overhead vs the direct unsharded path
+	// (positive = slower than calling the engine directly).
+	Delta float64
+	// Identical reports whether every query's ranking — IDs and scores —
+	// matched the direct path bit for bit.
+	Identical bool
+}
+
+// ShardsResult measures scatter-gather serving (docs/SHARDING.md) against
+// the direct single-engine path on the same corpus: the 1-shard row
+// isolates pure coordinator overhead (goroutine hop + merge), higher
+// counts show how partitioning shifts latency, and the Identical column
+// checks the shard-count-invariance contract end to end.
+//
+// Direct/DirectP50 report the direct path as timed alongside the 1-shard
+// row; every row's Delta is computed against its own interleaved direct
+// measurement, so machine-level drift between rows cancels out.
+type ShardsResult struct {
+	Queries   int
+	Direct    time.Duration
+	DirectP50 time.Duration
+	Rows      []ShardsRow
+}
+
+// shardSweep returns the shard counts to benchmark: powers of two from 1
+// up to max (always at least [1]).
+func shardSweep(max int) []int {
+	counts := []int{1}
+	for n := 2; n <= max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// pairedSweep times the direct and sharded paths back to back, per query,
+// over reps full passes, keeping each query's fastest time per side.
+// Interleaving the two paths on every query pairs their machine state
+// (same idea as scripts/benchcheck.sh), and per-query minima discard
+// one-off stalls (GC pauses, scheduler preemption) that would otherwise
+// land on one side of a few-percent overhead comparison. The returned
+// rankings come from the first pass — searches are deterministic, so any
+// pass would do.
+func pairedSweep(queries []core.Query, reps, k int, direct, sharded func(core.Query, int) []core.Result) (directBest, shardBest []time.Duration, directRanks, shardRanks [][]core.Result) {
+	directBest = make([]time.Duration, len(queries))
+	shardBest = make([]time.Duration, len(queries))
+	for rep := 0; rep < reps; rep++ {
+		for i, q := range queries {
+			t0 := time.Now()
+			dres := direct(q, k)
+			dt := time.Since(t0)
+			t1 := time.Now()
+			sres := sharded(q, k)
+			st := time.Since(t1)
+			if rep == 0 {
+				directBest[i], shardBest[i] = dt, st
+				directRanks = append(directRanks, dres)
+				shardRanks = append(shardRanks, sres)
+				continue
+			}
+			if dt < directBest[i] {
+				directBest[i] = dt
+			}
+			if st < shardBest[i] {
+				shardBest[i] = st
+			}
+		}
+	}
+	return directBest, shardBest, directRanks, shardRanks
+}
+
+func sumDurations(ds []time.Duration) time.Duration {
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total
+}
+
+func meanP50(times []time.Duration) (mean, p50 time.Duration) {
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sumDurations(sorted) / time.Duration(len(sorted)), sorted[len(sorted)/2]
+}
+
+func sameRanking(a, b []core.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Table != b[i].Table || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// RunShards benchmarks scatter-gather search against the direct path with
+// type-Jaccard σ and LSH (30,10) prefiltering, votes=3, top-10, over the
+// combined 1- and 5-tuple query sets.
+func RunShards(env *Env) ShardsResult {
+	const (
+		votes = 3
+		topK  = 10
+		reps  = 3
+	)
+	cfg := core.LSEIConfig{Vectors: 30, BandSize: 10, Seed: 1}
+	queries := make([]core.Query, 0, len(env.Queries1)+len(env.Queries5))
+	for _, bq := range env.Queries1 {
+		queries = append(queries, bq.Query)
+	}
+	for _, bq := range env.Queries5 {
+		queries = append(queries, bq.Query)
+	}
+
+	// Direct reference: the exact pipeline System.SearchStatsContext runs,
+	// including the empty-prefilter full-scan fallback the Coordinator
+	// replaces with a rescatter.
+	eng := env.EngineTypes()
+	lsei := core.BuildTypeLSEI(env.Lake, env.TJ, cfg)
+	direct := func(q core.Query, k int) []core.Result {
+		res, _ := core.SearchWithIndex(context.Background(), eng, lsei, votes, q, k, core.FallbackFullScan)
+		return res
+	}
+
+	out := ShardsResult{Queries: len(queries)}
+	maxShards := env.Config.Shards
+	if maxShards < 1 {
+		maxShards = 4
+	}
+	for _, n := range shardSweep(maxShards) {
+		coord := buildShardedDeployment(env, n, cfg, votes)
+		directTimes, times, directRanks, ranks := pairedSweep(queries, reps, topK, direct, func(q core.Query, k int) []core.Result {
+			res, _ := coord.Search(context.Background(), q, k)
+			return res
+		})
+		identical := true
+		for i := range ranks {
+			if !sameRanking(ranks[i], directRanks[i]) {
+				identical = false
+				break
+			}
+		}
+		directMean, directP50 := meanP50(directTimes)
+		if n == 1 {
+			out.Direct, out.DirectP50 = directMean, directP50
+		}
+		mean, p50 := meanP50(times)
+		out.Rows = append(out.Rows, ShardsRow{
+			Shards: n, Mean: mean, P50: p50,
+			Delta:     float64(mean-directMean) / float64(directMean),
+			Identical: identical,
+		})
+	}
+	return out
+}
+
+// buildShardedDeployment hash-partitions the environment's corpus into n
+// shard.Locals wired exactly like thetis.ShardedSystem wires them: global
+// informativeness, global frequent-type filter, per-shard LSEI.
+func buildShardedDeployment(env *Env, n int, cfg core.LSEIConfig, votes int) *shard.Coordinator {
+	part := lake.NewHashPartitioner(n)
+	locals := make([]*shard.Local, n)
+	for i := range locals {
+		locals[i] = shard.NewLocal(i, env.KG.Graph)
+	}
+	for id := 0; id < env.Lake.NumTables(); id++ {
+		t := env.Lake.Table(lake.TableID(id))
+		locals[part.Assign(t)].Add(t, lake.TableID(id))
+	}
+	lakes := make([]*lake.Lake, n)
+	for i, sh := range locals {
+		lakes[i] = sh.Lake()
+	}
+	inf := core.IDFInformativenessOver(lakes)
+	filter := core.FrequentTypesOver(lakes, env.TJ, 0.5)
+	searchers := make([]shard.Searcher, n)
+	for i, sh := range locals {
+		e := core.NewEngine(sh.Lake(), env.TJ)
+		e.Inf = inf
+		sh.SetEngine(e)
+		sh.SetVotes(votes)
+		sh.SetIndex(core.BuildTypeLSEIFiltered(sh.Lake(), env.TJ, cfg, filter))
+		searchers[i] = sh
+	}
+	return shard.NewCoordinator(searchers...)
+}
+
+// Render prints the scatter-gather sweep.
+func (r ShardsResult) Render(w io.Writer) {
+	renderHeader(w, "Sharded scatter-gather: coordinator overhead and invariance, LSH(30,10) votes=3 top-10")
+	fmt.Fprintf(w, "direct path: mean %v, p50 %v over %d queries (interleaved with each row, per-query best of 3 passes)\n\n",
+		r.Direct.Round(time.Microsecond), r.DirectP50.Round(time.Microsecond), r.Queries)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Shards\tMean\tP50\tΔ vs direct\tIdentical ranking")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%+.1f%%\t%v\n",
+			row.Shards, row.Mean.Round(time.Microsecond), row.P50.Round(time.Microsecond),
+			100*row.Delta, row.Identical)
+	}
+	tw.Flush()
+}

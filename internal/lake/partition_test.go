@@ -1,0 +1,108 @@
+package lake
+
+import (
+	"fmt"
+	"testing"
+
+	"thetis/internal/table"
+)
+
+func sizedTable(name string, rows, cols int) *table.Table {
+	headers := make([]string, cols)
+	for j := range headers {
+		headers[j] = fmt.Sprintf("c%d", j)
+	}
+	t := table.New(name, headers)
+	row := make([]table.Cell, cols)
+	for j := range row {
+		row[j] = table.Cell{Value: "x"}
+	}
+	for i := 0; i < rows; i++ {
+		t.AppendRow(row)
+	}
+	return t
+}
+
+func TestHashPartitionerDeterministicAndInRange(t *testing.T) {
+	p := NewHashPartitioner(4)
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", p.Shards())
+	}
+	q := NewHashPartitioner(4)
+	for i := 0; i < 200; i++ {
+		tb := sizedTable(fmt.Sprintf("table-%d", i), 1, 1)
+		got := p.Assign(tb)
+		if got < 0 || got >= 4 {
+			t.Fatalf("assignment %d out of range", got)
+		}
+		// Stateless: a second partitioner — and a repeat call — agree.
+		if q.Assign(tb) != got || p.Assign(tb) != got {
+			t.Fatalf("hash assignment for %q not deterministic", tb.Name)
+		}
+	}
+}
+
+func TestHashPartitionerCoversAllShards(t *testing.T) {
+	p := NewHashPartitioner(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		seen[p.Assign(sizedTable(fmt.Sprintf("table-%d", i), 1, 1))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("200 hashed tables covered only shards %v", seen)
+	}
+}
+
+func TestBalancedPartitionerEvensOutSkew(t *testing.T) {
+	p := NewBalancedPartitioner(3)
+	load := make([]int64, 3)
+	// Heavily skewed sizes: a few huge tables among many small ones.
+	for i := 0; i < 90; i++ {
+		rows := 1
+		if i%10 == 0 {
+			rows = 500
+		}
+		tb := sizedTable(fmt.Sprintf("t%d", i), rows, 2)
+		s := p.Assign(tb)
+		load[s] += int64(rows) * 2
+	}
+	min, max := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// Least-loaded placement keeps the spread within one max-table of even.
+	if max-min > 1000 {
+		t.Fatalf("balanced partitioner left skewed loads %v", load)
+	}
+}
+
+func TestBalancedPartitionerRoundRobinsEmptyTables(t *testing.T) {
+	p := NewBalancedPartitioner(3)
+	for i := 0; i < 6; i++ {
+		want := i % 3
+		if got := p.Assign(sizedTable(fmt.Sprintf("e%d", i), 0, 0)); got != want {
+			t.Fatalf("empty table %d assigned to %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPartitionerPanicsOnBadShardCount(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHashPartitioner(0) },
+		func() { NewBalancedPartitioner(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for 0 shards")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -188,6 +188,7 @@ type Index struct {
 
 	probes  atomic.Int64 // band-bucket lookups across all queries
 	scanned atomic.Int64 // items read out of colliding buckets
+	items   int          // signatures inserted
 }
 
 // NewIndex creates an index for signatures of length permutations, divided
@@ -239,6 +240,7 @@ func bandHash(sig []uint32, band, bandSize int) uint64 {
 
 // Insert adds an item with the given signature to every band group.
 func (ix *Index) Insert(item uint32, sig []uint32) {
+	ix.items++
 	for b := 0; b < ix.bands; b++ {
 		key := bandHash(sig, b, ix.bandSize)
 		ix.buckets[b][key] = append(ix.buckets[b][key], item)
@@ -304,6 +306,10 @@ func (ix *Index) countProbe(scanned int) {
 func (ix *Index) ProbeCounts() (probes, scanned int64) {
 	return ix.probes.Load(), ix.scanned.Load()
 }
+
+// NumItems returns how many signatures have been inserted — per-shard
+// index sizes for spotting partitioning imbalance.
+func (ix *Index) NumItems() int { return ix.items }
 
 // NumBuckets returns the total number of non-empty buckets across bands.
 func (ix *Index) NumBuckets() int {

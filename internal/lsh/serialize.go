@@ -269,5 +269,12 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := cr.VerifySum(); err != nil {
 		return nil, err
 	}
+	// Every insert lands in each band group, so the per-band entry total
+	// recovers the inserted-signature count for NumItems.
+	entries := 0
+	for _, items := range ix.buckets[0] {
+		entries += len(items)
+	}
+	ix.items = entries
 	return ix, nil
 }

@@ -146,8 +146,80 @@ func IndexState(r *Registry) *Gauge {
 		"Prefilter index state: 0 building, 1 degraded (brute force), 2 ready.", nil)
 }
 
+// ShardSearchesTotal counts per-shard scatter legs executed by the
+// coordinator, by shard ("0", "1", …).
+func ShardSearchesTotal(shard string) *Counter {
+	return Default.Counter("thetis_shard_searches_total",
+		"Scatter legs executed against one shard by the coordinator.",
+		Labels{"shard": shard})
+}
+
+// ShardSearchSeconds observes one shard's scatter-leg latency, by shard.
+// The spread across shards is the skew the size-balanced partitioner
+// exists to flatten.
+func ShardSearchSeconds(shard string) *Histogram {
+	return Default.Histogram("thetis_shard_search_seconds",
+		"Per-shard scatter-leg wall time in seconds.",
+		LatencyBuckets, Labels{"shard": shard})
+}
+
+// ShardTruncatedTotal counts scatter legs that returned a truncated
+// (partial) response — cancellation, deadline, or a contained shard panic.
+func ShardTruncatedTotal(shard string) *Counter {
+	return Default.Counter("thetis_shard_truncated_total",
+		"Scatter legs that returned truncated partial results, by shard.",
+		Labels{"shard": shard})
+}
+
+// ShardMergeSeconds observes the coordinator's merge stage: k-way merging
+// the per-shard rankings into the global top-k.
+func ShardMergeSeconds() *Histogram {
+	return Default.Histogram("thetis_shard_merge_seconds",
+		"Coordinator time merging per-shard rankings in seconds.",
+		LatencyBuckets, nil)
+}
+
+// ShardRescattersTotal counts second scatter rounds forced by a globally
+// empty prefilter (the sharded analogue of the single-node full-scan
+// fallback).
+func ShardRescattersTotal() *Counter {
+	return Default.Counter("thetis_shard_rescatters_total",
+		"Full-scan rescatter rounds after a globally empty prefilter.", nil)
+}
+
+// ShardTables gauges how many tables each shard owns — partitioning
+// balance at a glance.
+func ShardTables(r *Registry, shard string) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_shard_tables",
+		"Tables owned by one shard.", Labels{"shard": shard})
+}
+
+// ShardIndexItems gauges the signatures held by one shard's LSEI
+// (entities, or columns in column-aggregation mode).
+func ShardIndexItems(r *Registry, shard string) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_shard_index_items",
+		"Signatures held by one shard's LSEI.", Labels{"shard": shard})
+}
+
+// ShardIndexState gauges one shard's prefilter lifecycle, with the same
+// encoding as IndexState: 0 building, 1 degraded, 2 ready.
+func ShardIndexState(r *Registry, shard string) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_shard_index_state",
+		"Per-shard prefilter index state: 0 building, 1 degraded (brute force), 2 ready.",
+		Labels{"shard": shard})
+}
+
 // PanicsTotal counts panics recovered into errors, by site ("search" for
-// scoring workers, "http" for request handlers).
+// scoring workers, "shard" for scatter legs, "http" for request handlers).
 func PanicsTotal(r *Registry, site string) *Counter {
 	if r == nil {
 		r = Default

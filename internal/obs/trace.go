@@ -30,6 +30,9 @@ type Trace struct {
 type Stage struct {
 	// Name identifies the stage ("probe", "vote", "mapping", "score", "rank").
 	Name string
+	// Shard labels the stage with the shard ("0", "1", …) it ran on when
+	// the operation was scatter-gathered; empty for unsharded pipelines.
+	Shard string
 	// Wall is the wall-clock duration of the stage. Zero for stages that
 	// run interleaved inside another stage's wall time (see CPU).
 	Wall time.Duration
@@ -119,7 +122,11 @@ func (t *Trace) String() string {
 		if d == 0 && st.CPU > 0 {
 			d, unit = st.CPU, " cpu"
 		}
-		fmt.Fprintf(&b, " %s %v%s", st.Name, d.Round(time.Microsecond), unit)
+		name := st.Name
+		if st.Shard != "" {
+			name = "s" + st.Shard + ":" + name
+		}
+		fmt.Fprintf(&b, " %s %v%s", name, d.Round(time.Microsecond), unit)
 		if st.Items > 0 {
 			fmt.Fprintf(&b, " (%d)", st.Items)
 		}
@@ -131,6 +138,7 @@ func (t *Trace) String() string {
 // durations under explicit _us keys, zero fields elided.
 type stageJSON struct {
 	Stage  string `json:"stage"`
+	Shard  string `json:"shard,omitempty"`
 	WallUS int64  `json:"wall_us,omitempty"`
 	CPUUS  int64  `json:"cpu_us,omitempty"`
 	Items  int    `json:"items,omitempty"`
@@ -148,6 +156,7 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 	for i, st := range t.Stages {
 		out.Stages[i] = stageJSON{
 			Stage:  st.Name,
+			Shard:  st.Shard,
 			WallUS: st.Wall.Microseconds(),
 			CPUUS:  st.CPU.Microseconds(),
 			Items:  st.Items,

@@ -3,6 +3,7 @@
 // system (and any production deployment) ultimately is:
 //
 //	GET  /healthz           liveness probe
+//	GET  /readyz            index lifecycle (WithReadiness/WithShardReadiness)
 //	GET  /stats             corpus and KG statistics
 //	GET  /tables/{id}       one table (name, attributes, rows, categories)
 //	POST /search            semantic search  {"query": "...", "k": 10}
@@ -10,7 +11,13 @@
 //	POST /hybrid            BM25-complemented semantic search
 //	GET  /metrics           Prometheus text-format metrics
 //	GET  /debug/trace       per-stage breakdown of one search (?query=…&k=…)
+//	GET  /debug/ingest      quarantine summary of the corpus load (WithIngestReport)
 //	GET  /debug/pprof/*     runtime profiles (opt-in via WithPprof)
+//
+// The backend behind the handlers is the Backend interface: a single
+// *thetis.System or a *thetis.ShardedSystem (thetisd -shards) — scatter-
+// gather is invisible at the HTTP surface except for shard labels in
+// /debug/trace, thetis_shard_* metrics, and /readyz's per-shard breakdown.
 //
 // Queries use the textual format of System.ParseQuery: entities separated
 // by "|", tuples by newlines (or ";"). Every endpoint is instrumented with
@@ -38,21 +45,38 @@ import (
 	"time"
 
 	"thetis"
+	"thetis/internal/lake"
 	"thetis/internal/obs"
 )
 
-// Server is an http.Handler serving one Thetis system. The underlying
-// System must be fully configured (similarity selected; keyword index built
+// Backend is the serving surface the HTTP layer needs: the query/search/
+// corpus methods shared by thetis.System (single-node) and
+// thetis.ShardedSystem (scatter-gather, thetisd -shards). Both satisfy it
+// structurally; the handlers never know which one answers.
+type Backend interface {
+	ParseQuery(text string) (thetis.Query, error)
+	SearchStatsContext(ctx context.Context, q thetis.Query, k int) ([]thetis.Result, thetis.SearchStats)
+	KeywordSearch(text string, k int) []thetis.TableID
+	HybridSearchContext(ctx context.Context, q thetis.Query, keywords string, k int) []thetis.TableID
+	Stats() lake.Stats
+	Graph() *thetis.Graph
+	NumTables() int
+	Table(id thetis.TableID) *thetis.Table
+}
+
+// Server is an http.Handler serving one Thetis backend. The underlying
+// system must be fully configured (similarity selected; keyword index built
 // when the keyword/hybrid endpoints are used) and must not be mutated while
-// serving.
+// serving (per-shard index hot-swaps excepted).
 type Server struct {
-	sys     *thetis.System
+	sys     Backend
 	mux     *http.ServeMux
 	reg     *obs.Registry
 	pprof   bool
 	timeout time.Duration
 	sem     chan struct{}
 	ready   *Readiness
+	shardRd []*Readiness
 	ingest  *obs.IngestReport
 
 	// testHookRequest, when set, runs inside the lifecycle guard of every
@@ -117,14 +141,14 @@ func WithIngestReport(ir *obs.IngestReport) Option {
 	return func(s *Server) { s.ingest = ir }
 }
 
-// New wraps a configured system.
-func New(sys *thetis.System, opts ...Option) *Server {
+// New wraps a configured backend (a *thetis.System or *thetis.ShardedSystem).
+func New(sys Backend, opts ...Option) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), reg: obs.Default}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.handle("GET", "/healthz", s.handleHealth)
-	if s.ready != nil {
+	if s.ready != nil || s.shardRd != nil {
 		s.handle("GET", "/readyz", s.handleReady)
 	}
 	if s.ingest != nil {
@@ -300,7 +324,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // brute-force scans — so /readyz answers 200 with the state by default.
 // Orchestrators that should route traffic only at full capacity can ask
 // with ?full=1, which answers 503 until the state is ready.
+//
+// Sharded daemons (WithShardReadiness) report the worst state across
+// shards — ready only when every shard is — plus a per-shard breakdown,
+// since each shard's index builds and hot-swaps independently.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.shardRd != nil {
+		s.handleReadyShards(w, r)
+		return
+	}
 	state, detail, since := s.ready.Snapshot()
 	status := http.StatusOK
 	if r.URL.Query().Get("full") == "1" && state != StateReady {

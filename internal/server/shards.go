@@ -1,0 +1,122 @@
+package server
+
+// Per-shard degraded-mode serving (docs/SHARDING.md): a sharded daemon
+// tracks one Readiness per shard, builds every shard's LSEI in the
+// background, and hot-swaps each one independently — one shard can rebuild
+// while the others keep answering prefiltered, and searches stay correct
+// throughout because a shard without an index serves brute force.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"thetis"
+	"thetis/internal/obs"
+)
+
+// NewShardReadinesses creates one lifecycle tracker per shard, each
+// mirrored on thetis_shard_index_state{shard="i"} of r (obs.Default when
+// nil). Pass the slice to WithShardReadiness and ActivateShardIndexes.
+func NewShardReadinesses(r *obs.Registry, n int) []*Readiness {
+	out := make([]*Readiness, n)
+	for i := range out {
+		rd := &Readiness{gauge: obs.ShardIndexState(r, strconv.Itoa(i))}
+		rd.Set(StateBuilding, "shard index build pending")
+		out[i] = rd
+	}
+	return out
+}
+
+// WithShardReadiness mounts GET /readyz aggregating per-shard index
+// lifecycles: the overall state is the worst across shards (any degraded →
+// degraded, else any building → building, else ready) and the response
+// carries a per-shard breakdown. Mutually exclusive with WithReadiness.
+func WithShardReadiness(rds []*Readiness) Option {
+	return func(s *Server) { s.shardRd = rds }
+}
+
+// handleReadyShards is handleReady's sharded variant (see WithShardReadiness).
+func (s *Server) handleReadyShards(w http.ResponseWriter, r *http.Request) {
+	worst := StateReady
+	shards := make([]map[string]any, len(s.shardRd))
+	for i, rd := range s.shardRd {
+		state, detail, since := rd.Snapshot()
+		shards[i] = map[string]any{
+			"shard":  i,
+			"state":  state.String(),
+			"detail": detail,
+			"since":  since.UTC().Format(time.RFC3339Nano),
+		}
+		switch {
+		case state == StateDegraded:
+			worst = StateDegraded
+		case state == StateBuilding && worst != StateDegraded:
+			worst = StateBuilding
+		}
+	}
+	status := http.StatusOK
+	if r.URL.Query().Get("full") == "1" && worst != StateReady {
+		status = http.StatusServiceUnavailable
+	}
+	ready := 0
+	for _, rd := range s.shardRd {
+		if rd.State() == StateReady {
+			ready++
+		}
+	}
+	writeJSON(w, status, map[string]any{
+		"state":  worst.String(),
+		"detail": fmt.Sprintf("%d/%d shards ready", ready, len(s.shardRd)),
+		"shards": shards,
+	})
+}
+
+// ActivateShardIndexes brings every shard's LSEI online without blocking
+// serving: the global index preparation (PrepareIndex — one corpus scan
+// for the shared frequent-type filter) runs synchronously, then each
+// shard's build runs in its own goroutine and hot-swaps independently,
+// flipping its Readiness to ready as it lands. Shards serve brute force
+// until their swap, so the daemon answers correctly from the first
+// request.
+//
+// A build panic is contained per shard: counted on
+// thetis_panics_total{site="build"}, that shard parked at degraded (brute
+// force), the other shards unaffected. The returned channel receives the
+// terminal outcome exactly once — nil when every shard landed, or the
+// first shard's error.
+func ActivateShardIndexes(ss *thetis.ShardedSystem, rds []*Readiness, cfg thetis.IndexConfig, votes int) <-chan error {
+	done := make(chan error, 1)
+	ss.SetVotes(votes)
+	ss.PrepareIndex(cfg)
+	errs := make(chan error, len(rds))
+	var wg sync.WaitGroup
+	for i := range rds {
+		rds[i].Set(StateBuilding, "building shard index; serving brute force meanwhile")
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					obs.PanicsTotal(nil, "build").Inc()
+					rds[i].Set(StateDegraded, fmt.Sprintf("shard index build panicked: %v; serving brute force", r))
+					errs <- fmt.Errorf("server: shard %d index build panicked: %v", i, r)
+				}
+			}()
+			ss.BuildShardIndex(i)
+			rds[i].Set(StateReady, "shard index built")
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		select {
+		case err := <-errs:
+			done <- err
+		default:
+			done <- nil
+		}
+	}()
+	return done
+}

@@ -1,0 +1,315 @@
+package thetis
+
+// Shard-count invariance battery (docs/SHARDING.md): a ShardedSystem must
+// rank bit-for-bit like an unsharded System over the same corpus — same
+// global table IDs, same scores, same order — for every shard count,
+// partitioning strategy, similarity, aggregation, score mode, parallelism,
+// and LSH setting. These tests are the executable form of that contract.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"thetis/internal/datagen"
+)
+
+var (
+	batteryOnce    sync.Once
+	batteryKG      *datagen.KG
+	batteryTables  []*Table
+	batteryQueries []Query
+)
+
+// batteryEnv generates a small synthetic corpus once: a typed KG, a few
+// hundred WT2015-profile tables (iterated in ingestion order so System and
+// ShardedSystem assign identical global IDs), and mixed 1-/5-tuple queries.
+func batteryEnv(t *testing.T) (*datagen.KG, []*Table, []Query) {
+	t.Helper()
+	batteryOnce.Do(func() {
+		batteryKG = datagen.GenerateKG(datagen.KGConfig{
+			Domains: 5, LeafTypesPerDomain: 2, MembersPerLeafType: 40,
+			GroupsPerDomain: 6, Places: 25, EdgesPerMember: 2, Seed: 17,
+		})
+		l := datagen.GenerateCorpus(batteryKG, datagen.ProfileWT2015(300))
+		for id := 0; id < l.NumTables(); id++ {
+			batteryTables = append(batteryTables, l.Table(TableID(id)))
+		}
+		for _, bq := range datagen.GenerateQueries(batteryKG, datagen.QueryConfig{
+			Count: 4, TuplesPerQuery: 5, Width: 3, Seed: 17,
+		}) {
+			batteryQueries = append(batteryQueries, bq.Truncate(1).Query, bq.Query)
+		}
+	})
+	return batteryKG, batteryTables, batteryQueries
+}
+
+// buildPair ingests the same table sequence into an unsharded System and an
+// n-shard ShardedSystem, both with type similarity selected.
+func buildPair(t *testing.T, n int, part Partitioner) (*System, *ShardedSystem) {
+	t.Helper()
+	kgEnv, tables, _ := batteryEnv(t)
+	sys := New(kgEnv.Graph)
+	ss := NewShardedSystem(kgEnv.Graph, part)
+	for i, tb := range tables {
+		if got := sys.AddTable(tb); got != TableID(i) {
+			t.Fatalf("System assigned ID %d to table %d", got, i)
+		}
+		if got := ss.AddTable(tb); got != TableID(i) {
+			t.Fatalf("ShardedSystem assigned ID %d to table %d", got, i)
+		}
+	}
+	sys.UseTypeSimilarity()
+	ss.UseTypeSimilarity()
+	return sys, ss
+}
+
+// assertIdenticalRankings compares every query's ranking — IDs and scores,
+// bit for bit — between the two systems.
+func assertIdenticalRankings(t *testing.T, label string, sys *System, ss *ShardedSystem, queries []Query, k int) {
+	t.Helper()
+	for qi, q := range queries {
+		want, wantStats := sys.SearchStats(q, k)
+		got, gotStats := ss.SearchStats(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("%s q%d: sharded returned %d results, unsharded %d", label, qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Table != want[i].Table || got[i].Score != want[i].Score {
+				t.Fatalf("%s q%d rank %d: sharded %+v, unsharded %+v", label, qi, i, got[i], want[i])
+			}
+		}
+		if wantStats.Truncated || gotStats.Truncated {
+			t.Fatalf("%s q%d: unexpected truncation (unsharded=%v sharded=%v)",
+				label, qi, wantStats.Truncated, gotStats.Truncated)
+		}
+	}
+}
+
+func TestShardCountInvarianceFullScan(t *testing.T) {
+	_, _, queries := batteryEnv(t)
+	configs := []struct {
+		name string
+		agg  Aggregation
+		mode ScoreMode
+		par  int
+	}{
+		{"max-entitywise-par0", AggregateMax, ModeEntityWise, 0},
+		{"avg-entitywise-par1", AggregateAvg, ModeEntityWise, 1},
+		{"max-pairwise-par4", AggregateMax, ModePairwise, 4},
+		{"avg-pairwise-par1", AggregateAvg, ModePairwise, 1},
+	}
+	for _, mk := range []struct {
+		name string
+		part func(int) Partitioner
+	}{
+		{"hash", NewHashPartitioner},
+		{"balanced", NewBalancedPartitioner},
+	} {
+		for _, n := range []int{1, 2, 4} {
+			sys, ss := buildPair(t, n, mk.part(n))
+			for _, cfg := range configs {
+				sys.SetAggregation(cfg.agg)
+				ss.SetAggregation(cfg.agg)
+				sys.SetScoreMode(cfg.mode)
+				ss.SetScoreMode(cfg.mode)
+				sys.SetParallelism(cfg.par)
+				ss.SetParallelism(cfg.par)
+				label := mk.name + "/" + cfg.name
+				assertIdenticalRankings(t, label, sys, ss, queries, 10)
+				assertIdenticalRankings(t, label+"/all", sys, ss, queries[:2], -1)
+			}
+		}
+	}
+}
+
+func TestShardCountInvarianceWithLSH(t *testing.T) {
+	_, _, queries := batteryEnv(t)
+	for _, n := range []int{1, 2, 4} {
+		sys, ss := buildPair(t, n, NewHashPartitioner(n))
+		cfg := DefaultIndexConfig()
+		sys.BuildIndex(cfg)
+		ss.BuildIndex(cfg)
+		if !ss.HasIndex() {
+			t.Fatalf("shards=%d: not every shard has an index", n)
+		}
+		for _, votes := range []int{1, 2, 3} {
+			sys.SetVotes(votes)
+			ss.SetVotes(votes)
+			assertIdenticalRankings(t, "lsh", sys, ss, queries, 10)
+		}
+	}
+}
+
+func TestShardCountInvarianceEmbeddings(t *testing.T) {
+	_, _, queries := batteryEnv(t)
+	sys, ss := buildPair(t, 3, NewHashPartitioner(3))
+	store := sys.TrainEmbeddings(
+		WalkConfig{WalksPerEntity: 4, Length: 5, Undirected: true, Seed: 9},
+		TrainConfig{Dim: 16, Window: 3, Negatives: 3, Epochs: 2, LearningRate: 0.03, Seed: 9},
+	)
+	ss.SetEmbeddings(store)
+	sys.UseEmbeddingSimilarity()
+	ss.UseEmbeddingSimilarity()
+	assertIdenticalRankings(t, "embeddings", sys, ss, queries, 10)
+
+	// Hyperplane-LSH prefiltered as well.
+	cfg := DefaultIndexConfig()
+	sys.BuildIndex(cfg)
+	ss.BuildIndex(cfg)
+	sys.SetVotes(2)
+	ss.SetVotes(2)
+	assertIdenticalRankings(t, "embeddings-lsh", sys, ss, queries, 10)
+}
+
+func TestShardedKeywordAndHybridMatchUnsharded(t *testing.T) {
+	_, _, queries := batteryEnv(t)
+	sys, ss := buildPair(t, 4, NewHashPartitioner(4))
+	sys.BuildKeywordIndex()
+	ss.BuildKeywordIndex()
+	kw := "member domain city"
+	a := sys.KeywordSearch(kw, 10)
+	b := ss.KeywordSearch(kw, 10)
+	if len(a) != len(b) {
+		t.Fatalf("keyword result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("keyword rank %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	ha := sys.HybridSearch(queries[1], kw, 10)
+	hb := ss.HybridSearch(queries[1], kw, 10)
+	if len(ha) != len(hb) {
+		t.Fatalf("hybrid result counts differ: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("hybrid rank %d differs: %d vs %d", i, ha[i], hb[i])
+		}
+	}
+}
+
+func TestShardedIncrementalIngestionKeepsInvariance(t *testing.T) {
+	_, tables, queries := batteryEnv(t)
+	sys, ss := buildPair(t, 3, NewHashPartitioner(3))
+	cfg := DefaultIndexConfig()
+	sys.BuildIndex(cfg)
+	ss.BuildIndex(cfg)
+	// Re-ingest a few tables under fresh IDs after the indexes were built:
+	// both sides must extend incrementally and stay identical.
+	for _, tb := range tables[:5] {
+		if sys.AddTable(tb) != ss.AddTable(tb) {
+			t.Fatal("post-index global IDs diverged")
+		}
+	}
+	sys.SetVotes(2)
+	ss.SetVotes(2)
+	assertIdenticalRankings(t, "incremental", sys, ss, queries, 10)
+}
+
+// staticShard is a Shard returning a fixed ranking — the public-API
+// equivalent of a remote shard for partial-failure and tie-merge tests.
+type staticShard struct {
+	res   []Result
+	stats SearchStats
+}
+
+func (f staticShard) SearchShard(ctx context.Context, q Query, k int, opts ShardSearchOptions) ([]Result, SearchStats) {
+	if ctx.Err() != nil {
+		st := f.stats
+		st.Truncated = true
+		return nil, st
+	}
+	res := f.res
+	if k >= 0 && k < len(res) {
+		res = res[:k]
+	}
+	return res, f.stats
+}
+
+func TestCoordinatorPartialFailureDeterministic(t *testing.T) {
+	healthy := staticShard{
+		res:   []Result{{Table: 2, Score: 0.9}, {Table: 4, Score: 0.5}},
+		stats: SearchStats{Candidates: 2, Scored: 2},
+	}
+	// A panicking shard contributes an empty truncated leg; the merged
+	// result is healthy's correctly ranked prefix, marked truncated.
+	live := NewCoordinator(healthy, deadShard{})
+	got, stats := live.Search(context.Background(), Query{}, 10)
+	if len(got) != 2 || got[0].Table != 2 || got[1].Table != 4 {
+		t.Fatalf("partial failure lost the healthy ranking: %v", got)
+	}
+	if !stats.Truncated {
+		t.Fatal("merged stats must be marked truncated after a failed leg")
+	}
+	// Determinism: repeated searches give the same answer.
+	again, _ := live.Search(context.Background(), Query{}, 10)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("partial-failure result not deterministic: %v vs %v", got, again)
+		}
+	}
+}
+
+// deadShard always fails by panicking; the coordinator must contain it.
+type deadShard struct{}
+
+func (deadShard) SearchShard(ctx context.Context, q Query, k int, opts ShardSearchOptions) ([]Result, SearchStats) {
+	panic("shard down")
+}
+
+func TestCoordinatorCrossShardTiesStableUnderShardOrder(t *testing.T) {
+	// Three shards with fully tied scores: the merged order must be
+	// ascending table ID no matter how the shards are ordered.
+	a := staticShard{res: []Result{{Table: 3, Score: 0.5}, {Table: 9, Score: 0.5}}}
+	b := staticShard{res: []Result{{Table: 1, Score: 0.5}, {Table: 7, Score: 0.5}}}
+	c := staticShard{res: []Result{{Table: 0, Score: 0.5}, {Table: 5, Score: 0.5}}}
+	want := []TableID{0, 1, 3, 5, 7, 9}
+	for _, order := range [][]Shard{
+		{a, b, c}, {c, b, a}, {b, c, a}, {a, c, b},
+	} {
+		got, _ := NewCoordinator(order...).Search(context.Background(), Query{}, -1)
+		if len(got) != len(want) {
+			t.Fatalf("merged %d results, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Table != want[i] {
+				t.Fatalf("tie order depends on shard order: got %v at rank %d, want %v", got[i].Table, i, want[i])
+			}
+		}
+	}
+}
+
+func TestShardedSearchContextCancellation(t *testing.T) {
+	_, _, queries := batteryEnv(t)
+	_, ss := buildPair(t, 2, NewHashPartitioner(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, stats := ss.SearchStatsContext(ctx, queries[1], 10)
+	if !stats.Truncated {
+		t.Fatal("cancelled sharded search must report truncation")
+	}
+}
+
+func TestShardedSystemStatsMatchUnsharded(t *testing.T) {
+	sys, ss := buildPair(t, 4, NewBalancedPartitioner(4))
+	a, b := sys.Stats(), ss.Stats()
+	if a.Tables != b.Tables || a.DistinctEntities != b.DistinctEntities {
+		t.Fatalf("aggregate stats diverge: %+v vs %+v", a, b)
+	}
+	const eps = 1e-9
+	if diff := a.MeanRows - b.MeanRows; diff > eps || diff < -eps {
+		t.Fatalf("mean rows diverge: %v vs %v", a.MeanRows, b.MeanRows)
+	}
+	if diff := a.MeanColumns - b.MeanColumns; diff > eps || diff < -eps {
+		t.Fatalf("mean columns diverge: %v vs %v", a.MeanColumns, b.MeanColumns)
+	}
+	total := 0
+	for i := 0; i < ss.NumShards(); i++ {
+		total += ss.ShardNumTables(i)
+	}
+	if total != ss.NumTables() {
+		t.Fatalf("shards own %d tables, system reports %d", total, ss.NumTables())
+	}
+}

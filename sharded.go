@@ -1,0 +1,516 @@
+package thetis
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+
+	"thetis/internal/bm25"
+	"thetis/internal/core"
+	"thetis/internal/embedding"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/obs"
+	"thetis/internal/shard"
+)
+
+// Sharded scatter-gather serving (docs/SHARDING.md). These are the public
+// seams of internal/shard: the Shard interface a scatter leg runs against,
+// the Coordinator that fans out and merges, the Partitioner strategies
+// that place tables, and ShardedSystem — the multi-shard counterpart of
+// System behind the same serving surface (thetisd -shards).
+type (
+	// Shard is one partition of a scatter-gather deployment: anything that
+	// can answer a query with a ranked slice of GLOBAL table IDs. See
+	// internal/shard.Searcher for the exact ranking/stats contract.
+	Shard = shard.Searcher
+	// ShardSearchOptions modulates one scatter leg (ForceFullScan).
+	ShardSearchOptions = shard.SearchOptions
+	// Coordinator scatters queries across Shards and merges the per-shard
+	// rankings deterministically.
+	Coordinator = shard.Coordinator
+	// Partitioner assigns tables to shards at ingestion time.
+	Partitioner = lake.Partitioner
+)
+
+// NewCoordinator builds a scatter-gather coordinator over the given
+// shards. The shards must own disjoint global table ID ranges and return
+// engine-ordered rankings (descending score, ascending table ID on ties);
+// the merged result is then independent of shard order and arrival order.
+func NewCoordinator(shards ...Shard) *Coordinator { return shard.NewCoordinator(shards...) }
+
+// NewHashPartitioner partitions tables by a hash of their name — the
+// stateless, ingestion-order-independent default (thetisd -shard-by hash).
+func NewHashPartitioner(n int) Partitioner { return lake.NewHashPartitioner(n) }
+
+// NewBalancedPartitioner partitions tables onto the least-loaded shard by
+// cell count — evens scoring work under skewed table sizes at the cost of
+// order-dependent placement (thetisd -shard-by size).
+func NewBalancedPartitioner(n int) Partitioner { return lake.NewBalancedPartitioner(n) }
+
+// SearchShard implements Shard, making a System usable as one scatter leg
+// of a Coordinator — the shape a shard-over-HTTP deployment takes, where
+// each remote daemon hosts one System (docs/SHARDING.md). The returned
+// table IDs are the System's own, so the deployment must give each such
+// System a disjoint ID range (or translate in the proxy). Unlike
+// SearchStatsContext, an empty prefilter does not fall back to a full
+// scan: the coordinator decides that globally and rescatters with
+// opts.ForceFullScan.
+func (s *System) SearchShard(ctx context.Context, q Query, k int, opts ShardSearchOptions) ([]Result, SearchStats) {
+	s.mustEngine()
+	ix := s.index.Load()
+	if opts.ForceFullScan {
+		ix = nil
+	}
+	return core.SearchWithIndex(ctx, s.engine, ix, int(s.votes.Load()), q, k, core.FallbackNone)
+}
+
+// SetParallelism bounds the scoring worker count per search (0 = one
+// worker per CPU). In sharded deployments the same budget fans out once
+// per shard; see docs/SHARDING.md for how to split it.
+func (s *System) SetParallelism(p int) {
+	s.mustEngine()
+	s.engine.Parallelism = p
+}
+
+// shardLoc locates a global table ID: which shard owns it, under which
+// shard-local ID.
+type shardLoc struct {
+	shard int
+	local lake.TableID
+}
+
+// ShardedSystem is a semantic data lake partitioned into N in-process
+// shards, searched by scatter-gather. It mirrors System's serving surface
+// (ingest, similarity selection, index building, search, keyword/hybrid
+// search), so thetisd and the HTTP layer treat the two interchangeably;
+// the differential test battery proves a ShardedSystem ranks bit-for-bit
+// like an unsharded System over the same corpus, regardless of shard
+// count, partitioning strategy, aggregation, score mode, or parallelism.
+//
+// What stays global: table IDs (assigned in ingestion order, so they match
+// the unsharded System's), IDF informativeness weights, the LSEI
+// frequent-type filter, the BM25 keyword index, and the full-scan
+// fallback decision. What each shard owns: its slice of the tables, its
+// LSEI and LSH buckets, its column-index memos, and its query-scoped σ
+// caches. Configure-then-search like System: ingestion and configuration
+// must not run concurrently with searches; searches are safe concurrently
+// with each other and with per-shard index hot-swaps.
+type ShardedSystem struct {
+	graph *Graph
+	part  Partitioner
+
+	shards []*shard.Local
+	lakes  []*lake.Lake
+	owner  []shardLoc
+	coord  *Coordinator
+
+	tj    *core.TypeJaccard
+	ec    *core.EmbeddingCosine
+	store *embedding.Store
+
+	indexCfg   IndexConfig
+	typeFilter map[kg.TypeID]bool
+	votes      int
+
+	keyword *bm25.Index
+}
+
+// NewShardedSystem creates an empty sharded lake over graph g, placing
+// tables with part (e.g. NewHashPartitioner(4)).
+func NewShardedSystem(g *Graph, part Partitioner) *ShardedSystem {
+	if part == nil || part.Shards() < 1 {
+		panic("thetis: NewShardedSystem needs a partitioner with at least 1 shard")
+	}
+	n := part.Shards()
+	ss := &ShardedSystem{graph: g, part: part, votes: 1}
+	ss.shards = make([]*shard.Local, n)
+	ss.lakes = make([]*lake.Lake, n)
+	searchers := make([]Shard, n)
+	for i := 0; i < n; i++ {
+		ss.shards[i] = shard.NewLocal(i, g)
+		ss.lakes[i] = ss.shards[i].Lake()
+		searchers[i] = ss.shards[i]
+	}
+	ss.coord = NewCoordinator(searchers...)
+	return ss
+}
+
+// Graph returns the underlying knowledge graph.
+func (ss *ShardedSystem) Graph() *Graph { return ss.graph }
+
+// NumShards returns the shard count.
+func (ss *ShardedSystem) NumShards() int { return len(ss.shards) }
+
+// ShardNumTables returns how many tables shard i owns (partitioning
+// balance; also exported per shard on thetis_shard_tables).
+func (ss *ShardedSystem) ShardNumTables(i int) int { return ss.shards[i].NumTables() }
+
+// NumTables returns the total number of ingested tables across shards.
+func (ss *ShardedSystem) NumTables() int { return len(ss.owner) }
+
+// Table returns an ingested table by its global ID.
+func (ss *ShardedSystem) Table(id TableID) *Table {
+	loc := ss.owner[int(id)]
+	return ss.shards[loc.shard].Lake().Table(loc.local)
+}
+
+// AddTable ingests a table: the partitioner picks its shard, and the
+// returned global ID is assigned in ingestion order — the same ID an
+// unsharded System would assign. Like System.AddTable, live per-shard
+// LSEIs and the keyword index are extended incrementally. Must not run
+// concurrently with searches.
+func (ss *ShardedSystem) AddTable(t *Table) TableID {
+	si := ss.part.Assign(t)
+	if si < 0 || si >= len(ss.shards) {
+		panic(fmt.Sprintf("thetis: partitioner assigned shard %d outside [0, %d)", si, len(ss.shards)))
+	}
+	global := TableID(len(ss.owner))
+	local := ss.shards[si].Add(t, global)
+	ss.owner = append(ss.owner, shardLoc{shard: si, local: local})
+	if ss.keyword != nil {
+		ss.keyword.Add(int32(global), bm25.TableText(t))
+	}
+	return global
+}
+
+// IngestCorpus streams a JSONL corpus into the sharded lake, exactly like
+// System.IngestCorpus but routing each table through the partitioner.
+func (ss *ShardedSystem) IngestCorpus(r io.Reader, opts IngestOptions) (int, error) {
+	var q *obs.Quarantine
+	if opts.Report != nil {
+		q = opts.Report.Tables
+	}
+	jr := newCorpusReader(ss.graph, r, opts, q)
+	n := 0
+	for {
+		t, err := jr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		ss.AddTable(t)
+		q.Accept()
+		n++
+	}
+}
+
+// TrainEmbeddings trains skip-gram entity embeddings over the KG, shared
+// by every shard (embeddings are a graph property, not a corpus one).
+func (ss *ShardedSystem) TrainEmbeddings(w WalkConfig, t TrainConfig) *EmbeddingStore {
+	ss.store = embedding.TrainGraph(ss.graph, w, t)
+	return ss.store
+}
+
+// SetEmbeddings installs externally trained embeddings.
+func (ss *ShardedSystem) SetEmbeddings(store *EmbeddingStore) { ss.store = store }
+
+// SaveEmbeddings serializes the trained embeddings (binary format).
+func (ss *ShardedSystem) SaveEmbeddings(w io.Writer) error {
+	if ss.store == nil {
+		return errNoEmbeddings
+	}
+	return ss.store.Write(w)
+}
+
+// LoadEmbeddings installs embeddings previously written by SaveEmbeddings.
+func (ss *ShardedSystem) LoadEmbeddings(r io.Reader) error {
+	store, err := embedding.ReadStore(r)
+	if err != nil {
+		return err
+	}
+	ss.store = store
+	return nil
+}
+
+// installEngines gives every shard a fresh engine over the chosen
+// similarity with GLOBAL informativeness weights — the first of the three
+// globals that keep sharded rankings identical to unsharded ones.
+func (ss *ShardedSystem) installEngines(sim Similarity) {
+	inf := core.IDFInformativenessOver(ss.lakes)
+	for _, sh := range ss.shards {
+		eng := core.NewEngine(sh.Lake(), sim)
+		eng.Inf = inf
+		sh.SetEngine(eng)
+	}
+	ss.typeFilter = nil
+}
+
+// UseTypeSimilarity configures σ as the adjusted Jaccard of taxonomy-
+// expanded entity type sets on every shard (System.UseTypeSimilarity).
+func (ss *ShardedSystem) UseTypeSimilarity() {
+	if ss.tj == nil {
+		ss.tj = core.NewTypeJaccard(ss.graph)
+	}
+	ss.installEngines(ss.tj)
+}
+
+// UseEmbeddingSimilarity configures σ as the clamped cosine of entity
+// embeddings on every shard (System.UseEmbeddingSimilarity).
+func (ss *ShardedSystem) UseEmbeddingSimilarity() {
+	if ss.store == nil {
+		panic("thetis: UseEmbeddingSimilarity before TrainEmbeddings/SetEmbeddings")
+	}
+	ss.ec = core.NewEmbeddingCosine(ss.graph, ss.store)
+	ss.installEngines(ss.ec)
+}
+
+// UseCombinedSimilarity configures σ as a weighted blend of the type and
+// embedding similarities on every shard (System.UseCombinedSimilarity).
+func (ss *ShardedSystem) UseCombinedSimilarity(typeWeight, embeddingWeight float64) {
+	if ss.store == nil {
+		panic("thetis: UseCombinedSimilarity before TrainEmbeddings/SetEmbeddings")
+	}
+	if ss.tj == nil {
+		ss.tj = core.NewTypeJaccard(ss.graph)
+	}
+	ss.ec = core.NewEmbeddingCosine(ss.graph, ss.store)
+	ss.installEngines(core.NewCombinedSimilarity(
+		[]core.Similarity{ss.tj, ss.ec},
+		[]float64{typeWeight, embeddingWeight}))
+}
+
+// UsePredicateSimilarity configures σ as the Jaccard of directional
+// predicate sets on every shard (System.UsePredicateSimilarity). LSH
+// prefiltering is not available for this similarity.
+func (ss *ShardedSystem) UsePredicateSimilarity() {
+	ss.installEngines(core.NewPredicateJaccard(ss.graph))
+}
+
+// SetAggregation switches MAX/AVG row-score aggregation on every shard.
+func (ss *ShardedSystem) SetAggregation(a Aggregation) {
+	ss.mustEngines()
+	for _, sh := range ss.shards {
+		sh.Engine().Agg = a
+	}
+}
+
+// SetScoreMode switches entity-wise/pairwise SemRel on every shard.
+func (ss *ShardedSystem) SetScoreMode(m ScoreMode) {
+	ss.mustEngines()
+	for _, sh := range ss.shards {
+		sh.Engine().Mode = m
+	}
+}
+
+// SetMapping switches the query-to-column assignment on every shard.
+func (ss *ShardedSystem) SetMapping(m MappingMethod) {
+	ss.mustEngines()
+	for _, sh := range ss.shards {
+		sh.Engine().Mapping = m
+	}
+}
+
+// SetParallelism bounds the scoring worker count per shard per search
+// (0 = one worker per CPU, in every shard at once — fine for throughput,
+// see docs/SHARDING.md for latency tuning).
+func (ss *ShardedSystem) SetParallelism(p int) {
+	ss.mustEngines()
+	for _, sh := range ss.shards {
+		sh.Engine().Parallelism = p
+	}
+}
+
+// embeddingSim reports whether the active similarity is the plain
+// embedding cosine (which indexes via hyperplane LSH instead of MinHash),
+// mirroring System.BuildIndex's dispatch.
+func (ss *ShardedSystem) embeddingSim() bool {
+	return ss.ec != nil && ss.shards[0].Engine().Sim == Similarity(ss.ec)
+}
+
+// PrepareIndex fixes the index configuration and computes the GLOBAL
+// frequent-type filter every shard's LSEI will share — the second global
+// that keeps sharded prefiltering identical to unsharded: LSH signatures
+// depend only on entity type sets, the filter, and the seed, so with one
+// global filter a shard's candidate set is exactly the global candidate
+// set intersected with the shard. Call it once, then BuildShardIndex per
+// shard (BuildIndex does both).
+func (ss *ShardedSystem) PrepareIndex(cfg IndexConfig) {
+	ss.mustEngines()
+	if cfg.FrequentTypeThreshold == 0 {
+		cfg.FrequentTypeThreshold = 0.5
+	}
+	ss.indexCfg = cfg
+	if ss.embeddingSim() {
+		ss.typeFilter = nil
+	} else {
+		ss.typeFilter = core.FrequentTypesOver(ss.lakes, ss.tj, cfg.FrequentTypeThreshold)
+	}
+}
+
+// BuildShardIndex builds and hot-swaps shard i's LSEI using the
+// configuration and global filter fixed by PrepareIndex. Safe to run
+// concurrently with searches (the shard serves brute force until the
+// swap) and with other shards' builds — the mechanism behind per-shard
+// degraded-mode serving (server.ActivateShardIndexes).
+func (ss *ShardedSystem) BuildShardIndex(i int) {
+	sh := ss.shards[i]
+	var ix *core.LSEI
+	if ss.embeddingSim() {
+		ix = core.BuildEmbeddingLSEI(sh.Lake(), ss.ec, ss.store.Dim(), ss.indexCfg)
+	} else {
+		ix = core.BuildTypeLSEIFiltered(sh.Lake(), ss.tj, ss.indexCfg, ss.typeFilter)
+	}
+	sh.SetIndex(ix)
+	obs.ShardIndexItems(nil, strconv.Itoa(i)).Set(float64(ix.NumItems()))
+}
+
+// BuildIndex builds every shard's LSEI synchronously (PrepareIndex +
+// BuildShardIndex for each shard). The daemon instead activates shards in
+// the background so they hot-swap independently.
+func (ss *ShardedSystem) BuildIndex(cfg IndexConfig) {
+	ss.PrepareIndex(cfg)
+	for i := range ss.shards {
+		ss.BuildShardIndex(i)
+	}
+}
+
+// HasIndex reports whether every shard has an active LSEI.
+func (ss *ShardedSystem) HasIndex() bool {
+	for _, sh := range ss.shards {
+		if sh.Index() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SetVotes sets the LSEI vote threshold on every shard. Votes threshold
+// per-entity collision counts within one shard, and a table's collisions
+// all come from its own shard, so the per-shard tally equals the global
+// one and the threshold needs no rescaling.
+func (ss *ShardedSystem) SetVotes(v int) {
+	ss.votes = v
+	for _, sh := range ss.shards {
+		sh.SetVotes(v)
+	}
+}
+
+// Search ranks tables across all shards by scatter-gather and returns the
+// global top-k (k < 0 returns all relevant tables).
+func (ss *ShardedSystem) Search(q Query, k int) []Result {
+	res, _ := ss.SearchStats(q, k)
+	return res
+}
+
+// SearchContext is Search honoring cancellation and deadlines; every
+// scatter leg shares ctx, so a deadline truncates all shards and the
+// merged result is the correctly ranked prefix of what completed.
+func (ss *ShardedSystem) SearchContext(ctx context.Context, q Query, k int) []Result {
+	res, _ := ss.SearchStatsContext(ctx, q, k)
+	return res
+}
+
+// SearchStats is Search returning aggregated statistics: per-shard
+// counters sum, Truncated ORs across shards, and the Trace carries every
+// shard's stages labeled with its shard plus the coordinator's merge
+// stage.
+func (ss *ShardedSystem) SearchStats(q Query, k int) ([]Result, SearchStats) {
+	return ss.SearchStatsContext(context.Background(), q, k)
+}
+
+// SearchStatsContext is SearchStats honoring cancellation and deadlines.
+func (ss *ShardedSystem) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
+	ss.mustEngines()
+	return ss.coord.Search(ctx, q, k)
+}
+
+// ParseQuery resolves a textual query into entity tuples (System.ParseQuery).
+func (ss *ShardedSystem) ParseQuery(text string) (Query, error) {
+	return core.ParseQuery(ss.graph, text)
+}
+
+// BuildKeywordIndex builds the BM25 index used by KeywordSearch and
+// HybridSearch. The keyword index is global — BM25's IDF depends on
+// corpus-wide document frequencies, so sharding it would change scores.
+func (ss *ShardedSystem) BuildKeywordIndex() {
+	kw := bm25.NewIndex()
+	for gid, loc := range ss.owner {
+		kw.Add(int32(gid), bm25.TableText(ss.shards[loc.shard].Lake().Table(loc.local)))
+	}
+	ss.keyword = kw
+}
+
+// KeywordSearch runs BM25 keyword search over table text and returns the
+// top-k global table IDs.
+func (ss *ShardedSystem) KeywordSearch(text string, k int) []TableID {
+	ss.mustKeyword()
+	hits := ss.keyword.Search(text, k)
+	out := make([]TableID, len(hits))
+	for i, h := range hits {
+		out[i] = TableID(h.Doc)
+	}
+	return out
+}
+
+// HybridSearch complements BM25 keyword search with sharded semantic
+// search (System.HybridSearch).
+func (ss *ShardedSystem) HybridSearch(q Query, keywords string, k int) []TableID {
+	return ss.HybridSearchContext(context.Background(), q, keywords, k)
+}
+
+// HybridSearchContext is HybridSearch honoring cancellation on its
+// semantic half.
+func (ss *ShardedSystem) HybridSearchContext(ctx context.Context, q Query, keywords string, k int) []TableID {
+	ss.mustEngines()
+	ss.mustKeyword()
+	sem, _ := ss.SearchStatsContext(ctx, q, k)
+	semIDs := make([]int, len(sem))
+	for i, r := range sem {
+		semIDs[i] = int(r.Table)
+	}
+	bmIDs := ss.KeywordSearch(keywords, k)
+	bmInts := make([]int, len(bmIDs))
+	for i, id := range bmIDs {
+		bmInts[i] = int(id)
+	}
+	merged := core.Complement(semIDs, bmInts, k)
+	out := make([]TableID, len(merged))
+	for i, id := range merged {
+		out[i] = TableID(id)
+	}
+	return out
+}
+
+// Stats aggregates corpus statistics across shards, weighting per-shard
+// means by table count and unioning distinct entities (an entity mentioned
+// on two shards counts once, like in one lake).
+func (ss *ShardedSystem) Stats() lake.Stats {
+	agg := lake.Stats{}
+	distinct := make(map[kg.EntityID]struct{})
+	var rows, cols, cov float64
+	for _, l := range ss.lakes {
+		st := l.ComputeStats()
+		agg.Tables += st.Tables
+		n := float64(st.Tables)
+		rows += st.MeanRows * n
+		cols += st.MeanColumns * n
+		cov += st.MeanCoverage * n
+		for _, e := range l.DistinctEntities() {
+			distinct[e] = struct{}{}
+		}
+	}
+	agg.DistinctEntities = len(distinct)
+	if agg.Tables > 0 {
+		n := float64(agg.Tables)
+		agg.MeanRows = rows / n
+		agg.MeanColumns = cols / n
+		agg.MeanCoverage = cov / n
+	}
+	return agg
+}
+
+func (ss *ShardedSystem) mustEngines() {
+	if ss.shards[0].Engine() == nil {
+		panic("thetis: select a similarity first (UseTypeSimilarity or UseEmbeddingSimilarity)")
+	}
+}
+
+func (ss *ShardedSystem) mustKeyword() {
+	if ss.keyword == nil {
+		panic("thetis: BuildKeywordIndex before keyword/hybrid search")
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"errors"
 	"io"
 	"sync/atomic"
-	"time"
 
 	"thetis/internal/bm25"
 	"thetis/internal/core"
@@ -250,13 +249,7 @@ func (s *System) IngestCorpus(r io.Reader, opts IngestOptions) (int, error) {
 	if opts.Report != nil {
 		q = opts.Report.Tables
 	}
-	jr := table.NewJSONReaderOpts(s.graph, r, table.ReadOptions{
-		Lenient:      opts.Lenient,
-		MaxLineBytes: opts.MaxLineBytes,
-		ErrorBudget:  opts.ErrorBudget,
-		Source:       opts.Source,
-		Quarantine:   q,
-	})
+	jr := newCorpusReader(s.graph, r, opts, q)
 	n := 0
 	for {
 		t, err := jr.Next()
@@ -270,6 +263,18 @@ func (s *System) IngestCorpus(r io.Reader, opts IngestOptions) (int, error) {
 		q.Accept()
 		n++
 	}
+}
+
+// newCorpusReader is the shared JSONL corpus reader configuration of
+// System.IngestCorpus and ShardedSystem.IngestCorpus.
+func newCorpusReader(g *Graph, r io.Reader, opts IngestOptions, q *obs.Quarantine) *table.JSONReader {
+	return table.NewJSONReaderOpts(g, r, table.ReadOptions{
+		Lenient:      opts.Lenient,
+		MaxLineBytes: opts.MaxLineBytes,
+		ErrorBudget:  opts.ErrorBudget,
+		Source:       opts.Source,
+		Quarantine:   q,
+	})
 }
 
 // Refresh rebuilds the similarity structures, informativeness weights, and
@@ -507,32 +512,7 @@ func (s *System) SearchStats(q Query, k int) ([]Result, SearchStats) {
 // subset and Stats.Truncated is set — graceful degradation, not an error.
 func (s *System) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
 	s.mustEngine()
-	ix := s.index.Load()
-	if ix == nil {
-		return s.engine.SearchContext(ctx, q, k)
-	}
-	start := time.Now()
-	pre := obs.NewTrace("prefilter")
-	cands := ix.CandidatesTracedContext(ctx, q, int(s.votes.Load()), pre)
-	var (
-		results []Result
-		stats   SearchStats
-	)
-	if len(cands) > 0 {
-		results, stats = s.engine.SearchCandidatesContext(ctx, q, cands, k)
-	} else {
-		// Keep the empty prefilter's stages so the trace shows why the
-		// search degraded to a full scan.
-		results, stats = s.engine.SearchContext(ctx, q, k)
-	}
-	if ctx.Err() != nil {
-		// A prefilter cut short also truncates the search, even when the
-		// scoring phase over the partial candidate set happened to finish.
-		stats.Truncated = true
-	}
-	stats.Trace.Prepend(pre.Stages...)
-	stats.Trace.Total = time.Since(start)
-	return results, stats
+	return core.SearchWithIndex(ctx, s.engine, s.index.Load(), int(s.votes.Load()), q, k, core.FallbackFullScan)
 }
 
 // ParseQuery resolves a textual query ("entity | entity" per line, matching
