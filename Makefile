@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck
+.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck
 
 all: check
 
@@ -35,13 +35,20 @@ linkcheck:
 shardcheck:
 	$(GO) test -race -run '^Test(Shard|Coordinator)' . ./internal/shard
 
-check: fmt vet build race linkcheck shardcheck
+# Rebuild-equivalence battery under the race detector (docs/LIVE_INDEX.md):
+# after any add/remove sequence against live indexes, rankings must be
+# bit-identical to a from-scratch build, including under concurrent queries
+# and delta-log restart replay.
+livecheck:
+	$(GO) test -race -run '^TestLive' .
+
+check: fmt vet build race linkcheck shardcheck livecheck
 
 # Replays every fuzz target's seed corpus (f.Add seeds + testdata/fuzz/)
 # as a fast regression suite. Live exploration happens in CI and via
 # `go test -fuzz <Target> <pkg>`.
 fuzz:
-	$(GO) test -run '^Fuzz' ./internal/bm25 ./internal/core ./internal/kg ./internal/lsh ./internal/server
+	$(GO) test -run '^Fuzz' ./internal/atomicio ./internal/bm25 ./internal/core ./internal/kg ./internal/lsh ./internal/server
 
 # Fault-injection and corruption-matrix suite (docs/RELIABILITY.md): every
 # test named Corrupt* or Fault* — single-byte snapshot flips, truncations,

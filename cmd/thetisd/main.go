@@ -6,6 +6,7 @@
 //	        [-shards 1] [-shard-by hash|size] \
 //	        [-lsh] [-votes 3] [-vectors 30] [-band 10] [-indexfile index.bin] \
 //	        [-lenient-ingest] [-ingest-budget N] [-max-line BYTES] \
+//	        [-delta-log deltas.log] [-compact-every 10m] \
 //	        [-timeout 10s] [-max-inflight 64] [-drain 30s] [-pprof]
 //
 // Sharded serving (docs/SHARDING.md): -shards N partitions the corpus into
@@ -28,6 +29,14 @@
 // in the background; -indexfile loads a checksummed snapshot instead, and
 // a corrupt snapshot is rejected (never loaded wrong) with the same
 // degraded-then-rebuild fallback. GET /readyz reports the index lifecycle.
+//
+// Live mutation (docs/LIVE_INDEX.md): POST /tables and DELETE /tables/{id}
+// fold additions and removals into every live index without a restart.
+// -delta-log (requires -shards 1) write-ahead-logs each mutation to a
+// checksummed append-only file and replays it over the base corpus on the
+// next start — a corrupt log refuses to start rather than serve a wrong
+// index. -compact-every periodically rebuilds the LSEI aside to shed
+// tombstones; searches keep flowing through each compaction.
 //
 // Operational endpoints (docs/OBSERVABILITY.md): GET /metrics exposes
 // Prometheus-format counters and latency histograms, GET /debug/trace
@@ -71,6 +80,8 @@ func main() {
 	lenient := flag.Bool("lenient-ingest", false, "skip malformed KG lines and corpus tables instead of aborting (see /debug/ingest)")
 	budget := flag.Int("ingest-budget", 1000, "max records lenient ingestion may quarantine before giving up (-1 = unlimited)")
 	maxLine := flag.Int("max-line", 0, "max bytes per KG/corpus line (0 = 16 MiB default)")
+	deltaLog := flag.String("delta-log", "", "write-ahead mutation log, replayed over the base corpus on restart (requires -shards 1)")
+	compactEvery := flag.Duration("compact-every", 0, "rebuild live indexes this often to shed removal tombstones (0 disables)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request search deadline; expiring searches return partial results (0 disables)")
 	maxInflight := flag.Int("max-inflight", 8*runtime.GOMAXPROCS(0), "max concurrent search requests before shedding with 429 (0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight requests (0 waits forever)")
@@ -107,6 +118,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shards > 1 && *deltaLog != "" {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -delta-log requires -shards 1 (the log replays into one unsharded system)\n")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	report := thetis.NewIngestReport()
 	sys, single, sharded := load(*kgPath, *corpusPath, *shards, *shardBy, thetis.IngestOptions{
@@ -121,6 +137,15 @@ func main() {
 		if tSkip+cSkip > 0 {
 			log.Printf("lenient ingest: quarantined %d/%d triples and %d/%d tables (details on /debug/ingest)",
 				tSkip, tOK+tSkip, cSkip, cOK+cSkip)
+		}
+	}
+	if *deltaLog != "" {
+		base := sys.NumTables()
+		if err := single.AttachDeltaLog(*deltaLog); err != nil {
+			log.Fatalf("delta log %s: %v (restore the base corpus and a clean log)", *deltaLog, err)
+		}
+		if n := sys.NumTables(); n != base {
+			log.Printf("delta log %s: replayed mutations, %d -> %d live tables", *deltaLog, base, n)
 		}
 	}
 	switch *sim {
@@ -195,6 +220,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *compactEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*compactEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if sharded != nil {
+						sharded.Compact()
+					} else {
+						single.Compact()
+					}
+				}
+			}
+		}()
+	}
 	if sharded != nil {
 		log.Printf("serving %d tables across %d shards (%s-partitioned) on %s (metrics on /metrics, timeout %v, max in-flight %d)",
 			sys.NumTables(), sharded.NumShards(), *shardBy, *addr, *timeout, *maxInflight)
@@ -204,6 +247,12 @@ func main() {
 	}
 	if err := server.Run(ctx, *addr, server.New(sys, opts...), *drain); err != nil {
 		log.Fatal(err)
+	}
+	if *deltaLog != "" {
+		if err := single.DeltaLogError(); err != nil {
+			log.Printf("delta log %s: stopped logging after error: %v (mutations since are not durable)", *deltaLog, err)
+		}
+		single.CloseDeltaLog()
 	}
 	log.Println("drained in-flight queries, shut down cleanly")
 }

@@ -1,0 +1,163 @@
+package atomicio
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Delta log: an append-only record stream layered next to the base
+// snapshot, so a restart can replay base + deltas instead of losing every
+// mutation since the last full save (docs/LIVE_INDEX.md).
+//
+// Wire format (all little-endian):
+//
+//	header:  magic "TDL1" (u32) | version (u32) | baseTables (u64) | CRC32C
+//	record:  seq (u64) | op (u8) | payloadLen (u32) | payload | CRC32C
+//
+// Each record carries its own CRC32C (over seq..payload), so a torn final
+// append — the expected crash shape for an append-only file — is detected
+// at exactly that record and everything before it replays. Sequence
+// numbers start at 1 and must be contiguous; a reordered, duplicated, or
+// dropped record therefore fails validation even if its bytes are intact.
+// Every validation failure is an ErrCorruptSnapshot; a clean io.EOF is
+// only reported at a record boundary.
+
+// DeltaMagic identifies a delta log ("TDL1" as a little-endian uint32).
+const DeltaMagic = uint32(0x544C4431)
+
+// DeltaVersion is the current delta-log format version.
+const DeltaVersion = uint32(1)
+
+// MaxDeltaPayload bounds a single record's payload, rejecting corrupt
+// length fields before they drive a huge allocation.
+const MaxDeltaPayload = 64 << 20
+
+// DeltaWriter appends records to a delta log. It does not buffer or sync;
+// callers own the underlying file and its durability.
+type DeltaWriter struct {
+	w       io.Writer
+	nextSeq uint64
+}
+
+// NewDeltaWriter writes a fresh log header to w. baseTables records the
+// table-slot count of the base snapshot the log applies to, letting replay
+// refuse a log paired with the wrong base.
+func NewDeltaWriter(w io.Writer, baseTables uint64) (*DeltaWriter, error) {
+	cw := NewCRCWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], DeltaMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], DeltaVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], baseTables)
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if err := cw.WriteSum(); err != nil {
+		return nil, err
+	}
+	return &DeltaWriter{w: w, nextSeq: 1}, nil
+}
+
+// ResumeDeltaWriter continues appending to an existing log whose records
+// have been replayed up to (not including) nextSeq — typically
+// DeltaReader.NextSeq after a full replay. No header is written.
+func ResumeDeltaWriter(w io.Writer, nextSeq uint64) *DeltaWriter {
+	if nextSeq < 1 {
+		nextSeq = 1
+	}
+	return &DeltaWriter{w: w, nextSeq: nextSeq}
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (dw *DeltaWriter) NextSeq() uint64 { return dw.nextSeq }
+
+// Append writes one record. op is caller-defined; payload may be empty but
+// must not exceed MaxDeltaPayload.
+func (dw *DeltaWriter) Append(op byte, payload []byte) error {
+	if len(payload) > MaxDeltaPayload {
+		return Corruptf("delta payload too large: %d bytes", len(payload))
+	}
+	cw := NewCRCWriter(dw.w)
+	var hdr [13]byte
+	binary.LittleEndian.PutUint64(hdr[0:], dw.nextSeq)
+	hdr[8] = op
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := cw.Write(payload); err != nil {
+		return err
+	}
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	dw.nextSeq++
+	return nil
+}
+
+// DeltaReader validates and yields the records of a delta log.
+type DeltaReader struct {
+	r       io.Reader
+	base    uint64
+	nextSeq uint64
+}
+
+// NewDeltaReader reads and validates the log header. Any mismatch — wrong
+// magic, unknown version, flipped header byte — is an ErrCorruptSnapshot.
+func NewDeltaReader(r io.Reader) (*DeltaReader, error) {
+	cr := NewCRCReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, Corruptf("truncated delta-log header: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != DeltaMagic {
+		return nil, Corruptf("bad delta-log magic %#x, want %#x", got, DeltaMagic)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != DeltaVersion {
+		return nil, Corruptf("unsupported delta-log version %d", got)
+	}
+	dr := &DeltaReader{r: r, base: binary.LittleEndian.Uint64(hdr[8:]), nextSeq: 1}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
+	}
+	return dr, nil
+}
+
+// BaseTables returns the base snapshot's table-slot count from the header.
+func (dr *DeltaReader) BaseTables() uint64 { return dr.base }
+
+// NextSeq returns the sequence number the next record must carry — after a
+// clean io.EOF, the value to hand ResumeDeltaWriter.
+func (dr *DeltaReader) NextSeq() uint64 { return dr.nextSeq }
+
+// Next returns the next record. A clean end of log returns io.EOF;
+// truncation mid-record, a checksum mismatch, or a sequence break
+// (reordered, duplicated, or dropped record) returns ErrCorruptSnapshot.
+// The payload slice is freshly allocated and owned by the caller.
+func (dr *DeltaReader) Next() (seq uint64, op byte, payload []byte, err error) {
+	cr := NewCRCReader(dr.r)
+	var hdr [13]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, io.EOF
+		}
+		return 0, 0, nil, Corruptf("truncated delta record header: %v", err)
+	}
+	seq = binary.LittleEndian.Uint64(hdr[0:])
+	op = hdr[8]
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	if n > MaxDeltaPayload {
+		return 0, 0, nil, Corruptf("delta record %d: implausible payload length %d", seq, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(cr, payload); err != nil {
+		return 0, 0, nil, Corruptf("delta record %d: truncated payload: %v", seq, err)
+	}
+	if err := cr.VerifySum(); err != nil {
+		return 0, 0, nil, Corruptf("delta record %d: %v", seq, err)
+	}
+	if seq != dr.nextSeq {
+		return 0, 0, nil, Corruptf("delta sequence break: got record %d, want %d (reordered, duplicated, or dropped)", seq, dr.nextSeq)
+	}
+	dr.nextSeq++
+	return seq, op, payload, nil
+}

@@ -1,0 +1,232 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// writeLog builds a log with the given base and records, returning the bytes.
+func writeLog(t *testing.T, base uint64, records [][2]interface{}) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	dw, err := NewDeltaWriter(&buf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		if err := dw.Append(rec[0].(byte), rec[1].([]byte)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// drain replays a log fully, returning records or the terminal error.
+func drain(data []byte) (base uint64, ops []byte, payloads [][]byte, next uint64, err error) {
+	dr, err := NewDeltaReader(bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	for {
+		_, op, payload, err := dr.Next()
+		if err == io.EOF {
+			return dr.BaseTables(), ops, payloads, dr.NextSeq(), nil
+		}
+		if err != nil {
+			return dr.BaseTables(), ops, payloads, dr.NextSeq(), err
+		}
+		ops = append(ops, op)
+		payloads = append(payloads, payload)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	records := [][2]interface{}{
+		{byte(1), []byte(`{"name":"t"}`)},
+		{byte(2), []byte{7, 0, 0, 0}},
+		{byte(1), []byte{}}, // empty payload is legal
+	}
+	data := writeLog(t, 42, records)
+	base, ops, payloads, next, err := drain(data)
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if base != 42 {
+		t.Fatalf("base = %d, want 42", base)
+	}
+	if len(ops) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(ops), len(records))
+	}
+	for i, rec := range records {
+		if ops[i] != rec[0].(byte) || !bytes.Equal(payloads[i], rec[1].([]byte)) {
+			t.Fatalf("record %d diverged: op=%d payload=%v", i, ops[i], payloads[i])
+		}
+	}
+	if next != uint64(len(records))+1 {
+		t.Fatalf("NextSeq = %d, want %d", next, len(records)+1)
+	}
+}
+
+func TestDeltaResumeWriter(t *testing.T) {
+	var buf bytes.Buffer
+	dw, err := NewDeltaWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Append(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Replay, then resume appending at the reported sequence — the combined
+	// log must replay cleanly as one contiguous stream.
+	_, _, _, next, err := drain(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := ResumeDeltaWriter(&buf, next)
+	if rw.NextSeq() != 2 {
+		t.Fatalf("resumed NextSeq = %d, want 2", rw.NextSeq())
+	}
+	if err := rw.Append(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	_, ops, _, next, err := drain(buf.Bytes())
+	if err != nil {
+		t.Fatalf("combined log corrupt: %v", err)
+	}
+	if len(ops) != 2 || ops[0] != 1 || ops[1] != 2 || next != 3 {
+		t.Fatalf("combined replay wrong: ops=%v next=%d", ops, next)
+	}
+}
+
+// mustCorruptDelta asserts the replay of data fails with ErrCorruptSnapshot.
+func mustCorruptDelta(t *testing.T, data []byte, what string) {
+	t.Helper()
+	_, _, _, _, err := drain(data)
+	if err == nil {
+		t.Fatalf("%s: replayed without error", what)
+	}
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("%s: got %v, want ErrCorruptSnapshot", what, err)
+	}
+}
+
+func TestDeltaCorruptionDetection(t *testing.T) {
+	records := [][2]interface{}{
+		{byte(1), []byte("first payload")},
+		{byte(2), []byte{1, 2, 3, 4}},
+	}
+	clean := writeLog(t, 9, records)
+	if _, _, _, _, err := drain(clean); err != nil {
+		t.Fatalf("clean log: %v", err)
+	}
+
+	flip := func(i int) []byte {
+		d := append([]byte(nil), clean...)
+		d[i] ^= 0x20
+		return d
+	}
+	mustCorruptDelta(t, flip(0), "flipped magic byte")
+	mustCorruptDelta(t, flip(4), "flipped version byte")
+	mustCorruptDelta(t, flip(10), "flipped baseTables byte")
+	mustCorruptDelta(t, flip(25), "flipped record header byte")
+	mustCorruptDelta(t, flip(len(clean)-2), "flipped trailing CRC byte")
+	mustCorruptDelta(t, clean[:len(clean)-1], "truncated final CRC")
+	mustCorruptDelta(t, clean[:25], "truncated mid-record")
+	mustCorruptDelta(t, clean[:10], "truncated header")
+	mustCorruptDelta(t, nil, "empty input")
+
+	// Duplicated record: repeat the final record's bytes — intact CRC, but
+	// the sequence number repeats.
+	lastRecLen := 13 + 4 + 4 // header + payload + CRC of record 2
+	dup := append(append([]byte(nil), clean...), clean[len(clean)-lastRecLen:]...)
+	mustCorruptDelta(t, dup, "duplicated record")
+
+	// Dropped record: cut record 1 out, leaving record 2 with seq 2 first.
+	rec1Len := 13 + len("first payload") + 4
+	headerLen := 16 + 4
+	drop := append(append([]byte(nil), clean[:headerLen]...), clean[headerLen+rec1Len:]...)
+	mustCorruptDelta(t, drop, "dropped record")
+
+	// Reordered records: swap the two record regions.
+	rec1 := clean[headerLen : headerLen+rec1Len]
+	rec2 := clean[headerLen+rec1Len:]
+	swapped := append(append(append([]byte(nil), clean[:headerLen]...), rec2...), rec1...)
+	mustCorruptDelta(t, swapped, "reordered records")
+}
+
+func TestDeltaOversizedPayloadRefused(t *testing.T) {
+	var buf bytes.Buffer
+	dw, err := NewDeltaWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MaxDeltaPayload+1)
+	if err := dw.Append(1, big); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("oversized append returned %v", err)
+	}
+	// A forged length field beyond the cap must be rejected before any
+	// allocation-sized read.
+	data := writeLog(t, 0, [][2]interface{}{{byte(1), []byte("x")}})
+	forged := append([]byte(nil), data...)
+	forged[20+9] = 0xFF // payloadLen low byte
+	forged[20+10] = 0xFF
+	forged[20+11] = 0xFF
+	forged[20+12] = 0x7F
+	mustCorruptDelta(t, forged, "forged payload length")
+}
+
+// FuzzDeltaReplay feeds arbitrary bytes through the full replay loop: the
+// reader must never panic, never allocate unboundedly, and fail only with a
+// clean io.EOF at a record boundary or ErrCorruptSnapshot — the contract
+// AttachDeltaLog relies on to turn arbitrary on-disk damage into a typed
+// "restore from base" signal.
+func FuzzDeltaReplay(f *testing.F) {
+	// Seed corpus: a valid log plus structured mutations of it.
+	var buf bytes.Buffer
+	dw, err := NewDeltaWriter(&buf, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, payload := range [][]byte{[]byte(`{"name":"a"}`), {3, 0, 0, 0}, {}, []byte("tail")} {
+		if err := dw.Append(byte(i%2+1), payload); err != nil {
+			f.Fatal(err)
+		}
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:16])
+	f.Add(valid[:len(valid)-3])
+	f.Add(append(append([]byte(nil), valid...), valid[20:]...))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte("TDL1 not really a log"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dr, err := NewDeltaReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("header error is not typed corruption: %v", err)
+			}
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			_, _, payload, err := dr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorruptSnapshot) {
+					t.Fatalf("record error is not typed corruption: %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxDeltaPayload {
+				t.Fatalf("oversized payload slipped through: %d bytes", len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzSeeds regenerates the checked-in FuzzDeltaReplay seed
+// corpus when run with THETIS_REGEN_FUZZ_SEEDS=1; otherwise it verifies the
+// corpus files exist and parse as go-fuzz v1 entries.
+func TestGenerateFuzzSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDeltaReplay")
+	var buf bytes.Buffer
+	dw, err := NewDeltaWriter(&buf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, payload := range [][]byte{[]byte(`{"name":"a"}`), {3, 0, 0, 0}, {}, []byte("tail")} {
+		if err := dw.Append(byte(i%2+1), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := buf.Bytes()
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x80
+	seeds := map[string][]byte{
+		"valid-log":        valid,
+		"truncated-header": valid[:16],
+		"truncated-record": valid[:len(valid)-3],
+		"flipped-byte":     flipped,
+		"garbage-magic":    []byte("TDL1 not really a log"),
+	}
+	if os.Getenv("THETIS_REGEN_FUZZ_SEEDS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name := range seeds {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("seed corpus missing (regenerate with THETIS_REGEN_FUZZ_SEEDS=1): %v", err)
+		}
+		if !bytes.HasPrefix(data, []byte("go test fuzz v1\n")) {
+			t.Fatalf("seed %s is not a go-fuzz v1 entry", name)
+		}
+	}
+}

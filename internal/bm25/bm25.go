@@ -41,7 +41,10 @@ type Index struct {
 
 	postings map[string][]posting
 	docLen   map[int32]int
-	totalLen int64
+	// docTokens records each document's distinct tokens, so Remove can walk
+	// exactly the posting lists that mention it instead of the whole index.
+	docTokens map[int32][]string
+	totalLen  int64
 	// dirty marks that avgLen must be recomputed before the next search;
 	// it lets documents be added incrementally at any time.
 	dirty  bool
@@ -54,10 +57,11 @@ func NewIndex() *Index { return NewIndexParams(DefaultK1, DefaultB) }
 // NewIndexParams creates an empty index with explicit k1/b parameters.
 func NewIndexParams(k1, b float64) *Index {
 	return &Index{
-		k1:       k1,
-		b:        b,
-		postings: make(map[string][]posting),
-		docLen:   make(map[int32]int),
+		k1:        k1,
+		b:         b,
+		postings:  make(map[string][]posting),
+		docLen:    make(map[int32]int),
+		docTokens: make(map[int32][]string),
 	}
 }
 
@@ -88,11 +92,52 @@ func (ix *Index) Add(doc int32, text string) {
 		}
 		if !merged {
 			pl = append(pl, posting{doc: doc, freq: int32(c)})
+			ix.docTokens[doc] = append(ix.docTokens[doc], tok)
 		}
 		ix.postings[tok] = pl
 	}
 	ix.docLen[doc] += len(tokens)
 	ix.totalLen += int64(len(tokens))
+}
+
+// Remove deletes a document from the index, reporting whether it was
+// present. Only the posting lists mentioning the document are touched
+// (tracked per doc at Add time); a list emptied by the removal is deleted
+// so term document-frequencies — and therefore IDF — match an index that
+// never held the document. Like Add, Remove must not run concurrently
+// with Search.
+func (ix *Index) Remove(doc int32) bool {
+	toks, ok := ix.docTokens[doc]
+	if !ok {
+		if _, had := ix.docLen[doc]; !had {
+			return false
+		}
+		// Documents whose text tokenized to nothing have lengths but no
+		// postings.
+		ix.totalLen -= int64(ix.docLen[doc])
+		delete(ix.docLen, doc)
+		ix.dirty = true
+		return true
+	}
+	for _, tok := range toks {
+		pl := ix.postings[tok]
+		for i := range pl {
+			if pl[i].doc == doc {
+				pl = append(pl[:i], pl[i+1:]...)
+				break
+			}
+		}
+		if len(pl) == 0 {
+			delete(ix.postings, tok)
+		} else {
+			ix.postings[tok] = pl
+		}
+	}
+	delete(ix.docTokens, doc)
+	ix.totalLen -= int64(ix.docLen[doc])
+	delete(ix.docLen, doc)
+	ix.dirty = true
+	return true
 }
 
 // Finish precomputes the average document length. Calling it is optional —

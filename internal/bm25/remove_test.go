@@ -1,0 +1,124 @@
+package bm25
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildDocs returns a small deterministic document set.
+func liveDocs() map[int32]string {
+	return map[int32]string{
+		0: "city population table berlin munich",
+		1: "city area table hamburg",
+		2: "football club table bayern",
+		3: "population density city country",
+		4: "", // tokenizes to nothing: length-only bookkeeping
+		5: "berlin berlin berlin club",
+	}
+}
+
+// TestRemoveMatchesNeverHeldIndex pins incremental-removal equivalence:
+// after Add-all then Remove-some, every search must score and rank exactly
+// like an index that never held the removed documents — same df, same IDF,
+// same average document length, bit-identical scores.
+func TestRemoveMatchesNeverHeldIndex(t *testing.T) {
+	docs := liveDocs()
+	removed := map[int32]bool{1: true, 4: true, 5: true}
+
+	full := NewIndex()
+	for id, text := range docs {
+		full.Add(id, text)
+	}
+	for id := range removed {
+		// Doc 4 tokenized to nothing, so Add was a no-op and Remove must
+		// report it was never held; every real doc must be found.
+		if got, want := full.Remove(id), id != 4; got != want {
+			t.Fatalf("Remove(%d) = %v, want %v", id, got, want)
+		}
+	}
+	full.Finish()
+
+	ref := NewIndex()
+	for id, text := range docs {
+		if !removed[id] {
+			ref.Add(id, text)
+		}
+	}
+	ref.Finish()
+
+	if got, want := full.NumDocs(), ref.NumDocs(); got != want {
+		t.Fatalf("NumDocs = %d after removals, want %d", got, want)
+	}
+	for _, q := range []string{"city", "berlin club", "population density", "hamburg", "table city population"} {
+		a, b := full.Search(q, -1), ref.Search(q, -1)
+		if len(a) != len(b) {
+			t.Fatalf("q=%q: %d results after removal, reference %d", q, len(a), len(b))
+		}
+		for i := range b {
+			if a[i].Doc != b[i].Doc || a[i].Score != b[i].Score {
+				t.Fatalf("q=%q rank %d: got (%d, %v), reference (%d, %v)", q, i, a[i].Doc, a[i].Score, b[i].Doc, b[i].Score)
+			}
+		}
+	}
+}
+
+func TestRemoveDeletesEmptiedPostingLists(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "unique token here")
+	ix.Add(2, "token shared")
+	if !ix.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	// "unique" and "here" appeared only in doc 1: their lists must be gone,
+	// so they no longer contribute matches (a zero-length list would).
+	if got := ix.Search("unique here", -1); len(got) != 0 {
+		t.Fatalf("emptied posting lists still match: %v", got)
+	}
+	if got := ix.Search("token", -1); len(got) != 1 || got[0].Doc != 2 {
+		t.Fatalf("shared posting list damaged: %v", got)
+	}
+}
+
+func TestRemoveAbsentAndTokenless(t *testing.T) {
+	ix := NewIndex()
+	if ix.Remove(9) {
+		t.Fatal("Remove on an empty index claims success")
+	}
+	ix.Add(1, "...") // tokenless: no postings, no length
+	if ix.Remove(1) {
+		t.Fatal("tokenless doc with zero length should not be tracked")
+	}
+	ix.Add(2, "some words")
+	if ix.Remove(3) {
+		t.Fatal("Remove of an absent doc claims success")
+	}
+	if !ix.Remove(2) || ix.Remove(2) {
+		t.Fatal("Remove must succeed exactly once")
+	}
+	if ix.NumDocs() != 0 {
+		t.Fatalf("NumDocs = %d after removing everything", ix.NumDocs())
+	}
+}
+
+func TestAddAfterRemoveReusesID(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "alpha beta")
+	ix.Add(2, "beta gamma")
+	ix.Remove(1)
+	ix.Add(1, "delta beta")
+	got := ix.Search("delta", -1)
+	if len(got) != 1 || got[0].Doc != 1 {
+		t.Fatalf("re-added doc not searchable: %v", got)
+	}
+	// The old text must be fully gone.
+	if got := ix.Search("alpha", -1); len(got) != 0 {
+		t.Fatalf("stale postings from the removed incarnation: %v", got)
+	}
+	ref := NewIndex()
+	ref.Add(1, "delta beta")
+	ref.Add(2, "beta gamma")
+	a, b := ix.Search("beta", -1), ref.Search("beta", -1)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("re-add diverges from reference: %v vs %v", a, b)
+	}
+}

@@ -23,12 +23,15 @@ func TableText(t *table.Table) string {
 	return sb.String()
 }
 
-// IndexLake builds a finished BM25 index over every table of a lake, with
-// document IDs equal to table IDs.
+// IndexLake builds a finished BM25 index over every live table of a lake,
+// with document IDs equal to table IDs (removed tables leave nil slots,
+// which are skipped).
 func IndexLake(l *lake.Lake) *Index {
 	ix := NewIndex()
 	for id, t := range l.Tables() {
-		ix.Add(int32(id), TableText(t))
+		if t != nil {
+			ix.Add(int32(id), TableText(t))
+		}
 	}
 	ix.Finish()
 	return ix

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/obs"
+	"thetis/internal/table"
+)
+
+var mFilterResigns = obs.IndexFilterResignsTotal(nil)
+
+// TypeFilterState maintains the frequent-type filter of Section 6.1 under
+// corpus mutation. The filter drops types present in more than threshold
+// of all tables, so its membership depends on two moving quantities: each
+// type's table count and the total table count (the limit is
+// threshold × total and shifts with EVERY add or remove — any type can
+// cross it on any mutation, in either direction). The state keeps the
+// per-type counts, recomputes membership after each mutation, and when a
+// type flips it re-signs every affected item in the attached LSEIs: remove
+// under the old filter, toggle the shared map, re-insert under the new one
+// (see LSEI.removeForResign/reinsert).
+//
+// The invariant this buys is exact rebuild equivalence: after any sequence
+// of mutations, Filter() equals FrequentTypesOver on the final corpus and
+// every stored LSH signature equals the one a from-scratch build would
+// compute — the property the live battery (live_test.go) checks bit for
+// bit.
+//
+// The filter map handed out by Filter is the same instance the LSEIs were
+// built with (BuildTypeLSEIFiltered) and is mutated in place, so readers
+// must be excluded during AddTable/RemoveTable — thetis.System holds its
+// write lock. Embedding-mode indexes have no type filter and need no
+// state.
+type TypeFilterState struct {
+	tj        *TypeJaccard
+	threshold float64
+	counts    map[kg.TypeID]int
+	total     int
+	filter    map[kg.TypeID]bool
+}
+
+// NewTypeFilterState computes the filter over the given lakes from
+// scratch, exactly as FrequentTypesOver would. Pass the returned Filter()
+// map to BuildTypeLSEIFiltered so state and index share one instance.
+func NewTypeFilterState(lakes []*lake.Lake, tj *TypeJaccard, threshold float64) *TypeFilterState {
+	fs := &TypeFilterState{
+		tj:        tj,
+		threshold: threshold,
+		counts:    make(map[kg.TypeID]int),
+		filter:    make(map[kg.TypeID]bool),
+	}
+	for _, l := range lakes {
+		for _, t := range l.Tables() {
+			if t != nil {
+				fs.count(t, 1)
+			}
+		}
+	}
+	for _, ty := range fs.flips() {
+		fs.filter[ty] = true
+	}
+	return fs
+}
+
+// ResumeTypeFilterState rebuilds mutation state around an existing filter
+// map — the one a built or snapshot-loaded LSEI already carries — so the
+// index's signatures stay valid and later flips propagate through the
+// shared instance. Counts are recomputed from the lakes; if the adopted
+// map disagrees with the recomputed membership (it cannot when filter and
+// corpus were saved together), the attached indexes are re-signed to
+// reconcile.
+func ResumeTypeFilterState(filter map[kg.TypeID]bool, lakes []*lake.Lake, tj *TypeJaccard, threshold float64, ixs ...*LSEI) *TypeFilterState {
+	fs := &TypeFilterState{
+		tj:        tj,
+		threshold: threshold,
+		counts:    make(map[kg.TypeID]int),
+		filter:    filter,
+	}
+	for _, l := range lakes {
+		for _, t := range l.Tables() {
+			if t != nil {
+				fs.count(t, 1)
+			}
+		}
+	}
+	fs.resign(ixs)
+	return fs
+}
+
+// Filter returns the shared live filter map. Callers must treat it as
+// read-only and hold the owning system's read lock while consulting it.
+func (fs *TypeFilterState) Filter() map[kg.TypeID]bool { return fs.filter }
+
+// AddTable records t joining the corpus and re-signs whatever its arrival
+// flips across the threshold. Call it BEFORE LSEI.AddTable for the same
+// table, so the new table's own signatures are computed under the filter
+// that now includes it.
+func (fs *TypeFilterState) AddTable(t *table.Table, ixs ...*LSEI) {
+	fs.count(t, 1)
+	fs.resign(ixs)
+}
+
+// RemoveTable records t leaving the corpus and re-signs whatever its
+// departure flips. Call it AFTER LSEI.RemoveTable for the same table,
+// which must run while the filter still matches the stored signatures.
+func (fs *TypeFilterState) RemoveTable(t *table.Table, ixs ...*LSEI) {
+	fs.count(t, -1)
+	fs.resign(ixs)
+}
+
+// count applies one table's expanded type set to the counters with the
+// given delta (+1 add, -1 remove).
+func (fs *TypeFilterState) count(t *table.Table, delta int) {
+	seen := make(map[kg.TypeID]bool)
+	for _, e := range t.Entities() {
+		for _, ty := range fs.tj.TypeSet(e) {
+			seen[ty] = true
+		}
+	}
+	fs.total += delta
+	for ty := range seen {
+		if fs.counts[ty] += delta; fs.counts[ty] == 0 {
+			delete(fs.counts, ty)
+		}
+	}
+}
+
+// flips returns every type whose frequent-ness disagrees with the current
+// filter map. Because the limit moves with the total, this scans all
+// counted types, plus filtered types whose count dropped to zero.
+func (fs *TypeFilterState) flips() []kg.TypeID {
+	limit := fs.threshold * float64(fs.total)
+	var out []kg.TypeID
+	for ty, c := range fs.counts {
+		if (float64(c) > limit) != fs.filter[ty] {
+			out = append(out, ty)
+		}
+	}
+	for ty := range fs.filter {
+		if fs.counts[ty] == 0 {
+			out = append(out, ty)
+		}
+	}
+	return out
+}
+
+// resign propagates pending flips: pull affected items out of every index
+// under the old filter, toggle the shared map, re-insert under the new
+// one.
+func (fs *TypeFilterState) resign(ixs []*LSEI) {
+	flips := fs.flips()
+	if len(flips) == 0 {
+		return
+	}
+	removed := make([][]uint32, len(ixs))
+	for i, ix := range ixs {
+		removed[i] = ix.removeForResign(flips)
+	}
+	for _, ty := range flips {
+		if fs.filter[ty] {
+			delete(fs.filter, ty)
+		} else {
+			fs.filter[ty] = true
+		}
+	}
+	n := 0
+	for i, ix := range ixs {
+		ix.reinsert(removed[i])
+		n += len(removed[i])
+	}
+	mFilterResigns.Add(int64(n))
+}

@@ -23,18 +23,22 @@ func UniformInformativeness(kg.EntityID) float64 { return 1 }
 //
 // where N is the number of tables and df(e) the number of tables mentioning
 // e. Entities absent from the corpus get the maximum weight 1.
+//
+// N and df are read live on every call, so the closure stays correct as the
+// lake mutates (the scorer evaluates it once per query entity, so the live
+// read is off the per-table hot path). An empty corpus weighs every entity
+// at 1.
 func IDFInformativeness(l *lake.Lake) Informativeness {
-	n := float64(l.NumTables())
-	if n == 0 {
-		return UniformInformativeness
-	}
-	denom := math.Log(1 + n)
 	return func(e kg.EntityID) float64 {
+		n := float64(l.NumTables())
+		if n == 0 {
+			return 1
+		}
 		df := float64(l.EntityFrequency(e))
 		if df == 0 {
 			return 1
 		}
-		return math.Log(1+n/df) / denom
+		return math.Log(1+n/df) / math.Log(1+n)
 	}
 }
 
@@ -45,22 +49,20 @@ func IDFInformativeness(l *lake.Lake) Informativeness {
 // shard weighing entities by its own sub-corpus would score tables
 // differently than an unsharded system and break shard-count invariance.
 //
-// Frequencies are read live, so tables ingested into the lakes afterwards
-// are reflected, matching the single-lake behavior.
+// Both N and the frequencies are read live, so tables added or removed
+// afterwards are reflected, matching the single-lake behavior.
 func IDFInformativenessOver(lakes []*lake.Lake) Informativeness {
 	if len(lakes) == 1 {
 		return IDFInformativeness(lakes[0])
 	}
-	n := 0
-	for _, l := range lakes {
-		n += l.NumTables()
-	}
-	if n == 0 {
-		return UniformInformativeness
-	}
-	nf := float64(n)
-	denom := math.Log(1 + nf)
 	return func(e kg.EntityID) float64 {
+		n := 0
+		for _, l := range lakes {
+			n += l.NumTables()
+		}
+		if n == 0 {
+			return 1
+		}
 		df := 0
 		for _, l := range lakes {
 			df += l.EntityFrequency(e)
@@ -68,6 +70,7 @@ func IDFInformativenessOver(lakes []*lake.Lake) Informativeness {
 		if df == 0 {
 			return 1
 		}
-		return math.Log(1+nf/float64(df)) / denom
+		nf := float64(n)
+		return math.Log(1+nf/float64(df)) / math.Log(1+nf)
 	}
 }

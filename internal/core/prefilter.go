@@ -12,6 +12,7 @@ import (
 	"thetis/internal/lake"
 	"thetis/internal/lsh"
 	"thetis/internal/obs"
+	"thetis/internal/table"
 )
 
 // Prefilter metrics (see docs/OBSERVABILITY.md), cached as package handles.
@@ -83,11 +84,19 @@ type LSEI struct {
 	// Entity-level mode: items inserted into the LSH index are entity IDs;
 	// tables are reached through the lake's posting lists.
 	// Column-aggregation mode: items are dense column UIDs mapped to their
-	// table by colTable.
+	// table by colTable; RemoveTable tombstones a UID's slot to -1 (UIDs are
+	// never reused).
 	columnMode bool
 	colTable   []lake.TableID
+	// colOf maps each column UID to its column number within its table —
+	// what RemoveTable and filter resigning need to recompute the UID's
+	// stored signature. Maintained alongside colTable on every insert; not
+	// serialized (ensureColOf rebuilds it deterministically for
+	// snapshot-loaded indexes).
+	colOf []int32
 	// indexed tracks which entities have signatures (entity mode), so
-	// incremental AddTable only inserts new ones.
+	// incremental AddTable only inserts new ones and RemoveTable knows what
+	// to drop when an entity's last table disappears.
 	indexed map[kg.EntityID]bool
 
 	// Exactly one of the signature sources is set.
@@ -188,16 +197,23 @@ func (x *LSEI) insertEntity(e kg.EntityID) {
 // are added effortlessly. In entity mode, only entities unseen so far get
 // new signatures (known entities already reach the table through the
 // lake's posting lists); in column-aggregation mode, the table's columns
-// are appended. The frequent-type filter computed at build time is kept as
-// an approximation. Not safe to call concurrently with Candidates.
+// are appended. Signatures use the current frequent-type filter — callers
+// maintaining exact rebuild equivalence update the shared filter first
+// (TypeFilterState resigns affected items), batch callers keep the built
+// filter as an approximation. Not safe to call concurrently with
+// Candidates.
 func (x *LSEI) AddTable(tid lake.TableID) {
 	t := x.lake.Table(tid)
+	if t == nil {
+		return
+	}
 	if !x.columnMode {
 		for _, e := range t.Entities() {
 			x.insertEntity(e)
 		}
 		return
 	}
+	x.ensureColOf()
 	for j := 0; j < t.NumColumns(); j++ {
 		ents := t.ColumnEntities(j)
 		if len(ents) == 0 {
@@ -214,7 +230,180 @@ func (x *LSEI) AddTable(tid lake.TableID) {
 		}
 		x.index.Insert(uint32(len(x.colTable)), sig)
 		x.colTable = append(x.colTable, tid)
+		x.colOf = append(x.colOf, int32(j))
 	}
+}
+
+// RemoveTable unindexes a table that was just removed from the lake. The
+// caller passes the detached *table.Table (the lake slot is already nil).
+// In entity mode, entities whose last table disappeared are dropped from
+// the index — the stored signature is recomputed (signatures are
+// deterministic in the entity's types/embedding and the current filter, so
+// nothing extra needs storing) and removed bucket by bucket. In
+// column-aggregation mode the table's column UIDs are removed and their
+// colTable slots tombstoned to -1. Must be called before any filter update
+// for this removal (signatures are recomputed under the filter they were
+// inserted with). Not safe to call concurrently with Candidates.
+func (x *LSEI) RemoveTable(tid lake.TableID, t *table.Table) {
+	if t == nil {
+		return
+	}
+	if !x.columnMode {
+		for _, e := range t.Entities() {
+			if x.lake.EntityFrequency(e) != 0 || !x.indexed[e] {
+				continue
+			}
+			if sig := x.entitySignature(e); sig != nil {
+				x.index.Remove(uint32(e), sig)
+			}
+			delete(x.indexed, e)
+		}
+		return
+	}
+	x.ensureColOf()
+	for uid, owner := range x.colTable {
+		if owner != tid {
+			continue
+		}
+		ents := t.ColumnEntities(int(x.colOf[uid]))
+		var sig []uint32
+		if x.minHash != nil {
+			sig = x.minHash.Signature(x.typeShingles(ents))
+		} else {
+			sig = x.groupSignature(ents)
+		}
+		if sig != nil {
+			x.index.Remove(uint32(uid), sig)
+		}
+		x.colTable[uid] = -1
+		x.colOf[uid] = -1
+	}
+}
+
+// columnIndexed reports whether column j of t gets a signature at build
+// time — the predicate behind ensureColOf's deterministic replay of the
+// build walk.
+func (x *LSEI) columnIndexed(t *table.Table, j int) bool {
+	ents := t.ColumnEntities(j)
+	if len(ents) == 0 {
+		return false
+	}
+	if x.minHash != nil {
+		return true
+	}
+	for _, e := range ents {
+		if x.cos.Vector(e) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureColOf reconstructs colOf for a snapshot-loaded column-mode index
+// (the snapshot format stores colTable only). UIDs were assigned by
+// walking tables in ID order and columns in position order, skipping
+// columns that produce no signature, so pairing each table's UIDs with its
+// indexable columns in order recovers the mapping exactly.
+func (x *LSEI) ensureColOf() {
+	if !x.columnMode || len(x.colOf) == len(x.colTable) {
+		return
+	}
+	x.colOf = make([]int32, len(x.colTable))
+	next := make(map[lake.TableID]int)
+	for uid, tid := range x.colTable {
+		if tid < 0 {
+			x.colOf[uid] = -1
+			continue
+		}
+		t := x.lake.Table(tid)
+		j := next[tid]
+		for t != nil && j < t.NumColumns() && !x.columnIndexed(t, j) {
+			j++
+		}
+		x.colOf[uid] = int32(j)
+		next[tid] = j + 1
+	}
+}
+
+// removeForResign pulls every item whose signature involves one of the
+// flipped types out of the LSH index, under the current (pre-toggle)
+// filter, and returns the affected item IDs so reinsert can put them back
+// once the shared filter map has been toggled. Embedding-mode indexes have
+// no type filter and return nil. See TypeFilterState.
+func (x *LSEI) removeForResign(flips []kg.TypeID) []uint32 {
+	if x.minHash == nil || len(flips) == 0 {
+		return nil
+	}
+	fl := make(map[kg.TypeID]bool, len(flips))
+	for _, ty := range flips {
+		fl[ty] = true
+	}
+	var out []uint32
+	if !x.columnMode {
+		for e := range x.indexed {
+			if !x.typesIntersect(e, fl) {
+				continue
+			}
+			if sig := x.entitySignature(e); sig != nil {
+				x.index.Remove(uint32(e), sig)
+			}
+			delete(x.indexed, e)
+			out = append(out, uint32(e))
+		}
+		return out
+	}
+	x.ensureColOf()
+	for uid, tid := range x.colTable {
+		if tid < 0 {
+			continue
+		}
+		ents := x.lake.Table(tid).ColumnEntities(int(x.colOf[uid]))
+		hit := false
+		for _, e := range ents {
+			if x.typesIntersect(e, fl) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		x.index.Remove(uint32(uid), x.minHash.Signature(x.typeShingles(ents)))
+		out = append(out, uint32(uid))
+	}
+	return out
+}
+
+// reinsert restores items removed by removeForResign, computing fresh
+// signatures under the (now toggled) filter.
+func (x *LSEI) reinsert(items []uint32) {
+	if x.minHash == nil {
+		return
+	}
+	if !x.columnMode {
+		for _, it := range items {
+			x.insertEntity(kg.EntityID(it))
+		}
+		return
+	}
+	for _, uid := range items {
+		tid := x.colTable[uid]
+		if tid < 0 {
+			continue
+		}
+		ents := x.lake.Table(tid).ColumnEntities(int(x.colOf[uid]))
+		x.index.Insert(uid, x.minHash.Signature(x.typeShingles(ents)))
+	}
+}
+
+// typesIntersect reports whether e's type set contains any flipped type.
+func (x *LSEI) typesIntersect(e kg.EntityID, flips map[kg.TypeID]bool) bool {
+	for _, ty := range x.typeSets.TypeSet(e) {
+		if flips[ty] {
+			return true
+		}
+	}
+	return false
 }
 
 // FrequentTypesOver returns the types present in more than threshold of
@@ -228,6 +417,9 @@ func FrequentTypesOver(lakes []*lake.Lake, tj *TypeJaccard, threshold float64) m
 	for _, l := range lakes {
 		total += l.NumTables()
 		for _, t := range l.Tables() {
+			if t == nil {
+				continue
+			}
 			seen := make(map[kg.TypeID]bool)
 			for _, e := range t.Entities() {
 				for _, ty := range tj.TypeSet(e) {
@@ -282,6 +474,9 @@ func (x *LSEI) typeShingles(ents []kg.EntityID) []uint64 {
 
 func (x *LSEI) buildTypeColumns() {
 	for tid, t := range x.lake.Tables() {
+		if t == nil {
+			continue
+		}
 		for j := 0; j < t.NumColumns(); j++ {
 			ents := t.ColumnEntities(j)
 			if len(ents) == 0 {
@@ -290,12 +485,16 @@ func (x *LSEI) buildTypeColumns() {
 			sig := x.minHash.Signature(x.typeShingles(ents))
 			x.index.Insert(uint32(len(x.colTable)), sig)
 			x.colTable = append(x.colTable, lake.TableID(tid))
+			x.colOf = append(x.colOf, int32(j))
 		}
 	}
 }
 
 func (x *LSEI) buildEmbeddingColumns() {
 	for tid, t := range x.lake.Tables() {
+		if t == nil {
+			continue
+		}
 		for j := 0; j < t.NumColumns(); j++ {
 			var vecs []embedding.Vector
 			for _, e := range t.ColumnEntities(j) {
@@ -309,6 +508,7 @@ func (x *LSEI) buildEmbeddingColumns() {
 			sig := x.hyper.Signature(embedding.Mean(vecs))
 			x.index.Insert(uint32(len(x.colTable)), sig)
 			x.colTable = append(x.colTable, lake.TableID(tid))
+			x.colOf = append(x.colOf, int32(j))
 		}
 	}
 }
@@ -349,7 +549,9 @@ func (x *LSEI) probeVote(ctx context.Context, sig []uint32, votes int, out map[l
 	bag := make(map[lake.TableID]int)
 	if x.columnMode {
 		for col := range x.index.QuerySetContext(ctx, sig) {
-			bag[x.colTable[col]]++
+			if tid := x.colTable[col]; tid >= 0 {
+				bag[tid]++
+			}
 		}
 	} else {
 		for item := range x.index.QuerySetContext(ctx, sig) {
@@ -500,3 +702,12 @@ func (x *LSEI) NumBuckets() int { return x.index.NumBuckets() }
 // (entities in entity mode, columns in column-aggregation mode) —
 // diagnostics for spotting imbalanced shards.
 func (x *LSEI) NumItems() int { return x.index.NumItems() }
+
+// Config returns the configuration the index was built or loaded with.
+func (x *LSEI) Config() LSEIConfig { return x.cfg }
+
+// TypeFilter returns the frequent-type filter map the index's signatures
+// were computed under (nil-or-empty for embedding mode). It is the live
+// instance, not a copy: ResumeTypeFilterState adopts it after a snapshot
+// load so later mutations can keep filter and signatures in lockstep.
+func (x *LSEI) TypeFilter() map[kg.TypeID]bool { return x.typeFilter }

@@ -164,10 +164,9 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 	start := time.Now()
 	tr := obs.NewTrace("search")
 	if candidates == nil {
-		candidates = make([]lake.TableID, eng.Lake.NumTables())
-		for i := range candidates {
-			candidates[i] = lake.TableID(i)
-		}
+		// Full scan enumerates the live tables only — after removals the ID
+		// space has tombstoned slots a dense 0..N-1 walk would mis-cover.
+		candidates = eng.Lake.LiveTableIDs()
 	}
 	stats := Stats{Candidates: len(candidates), Trace: tr}
 	mSearches.Inc()
@@ -215,7 +214,13 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 				mSearchPanics.Inc()
 			}
 		}()
-		score, mt = sc.scoreTable(eng.Lake.Table(tid), eng.Lake.ColumnIndex(tid))
+		t := eng.Lake.Table(tid)
+		if t == nil {
+			// Removed table: a stale candidate (e.g. from an index snapshot
+			// predating the removal) scores 0 rather than crashing a worker.
+			return 0, 0, false
+		}
+		score, mt = sc.scoreTable(t, eng.Lake.ColumnIndex(tid))
 		return
 	}
 	parts := make([]partial, workers)

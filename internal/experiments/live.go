@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"thetis/internal/core"
+	"thetis/internal/lake"
+	"thetis/internal/table"
+)
+
+// LiveResult measures live-lake maintenance (docs/LIVE_INDEX.md): the cost
+// of folding one table into — or out of — a built LSEI, query latency while
+// the corpus churns, and the full-rebuild time the incremental path avoids.
+type LiveResult struct {
+	BaseTables int
+	Mutations  int
+
+	// AddMean/AddP50 are per-AddTable latencies against the live index
+	// (signature insertion + filter re-balance + posting updates).
+	AddMean, AddP50 time.Duration
+	// RemoveMean/RemoveP50 are per-RemoveTable latencies.
+	RemoveMean, RemoveP50 time.Duration
+	// Rebuild is one from-scratch LSEI build over the final corpus — the
+	// cost a non-incremental design pays per mutation batch.
+	Rebuild time.Duration
+
+	// QueryP50Static is the steady-state query p50 with no mutations;
+	// QueryP50Churn interleaves one remove+re-add pair before every query —
+	// sustained mutation pressure on the same structures.
+	QueryP50Static, QueryP50Churn time.Duration
+	// Identical reports whether rankings under churn stayed score-identical
+	// to a from-scratch build over the same surviving corpus (full ID-level
+	// equivalence is pinned by the root live_test.go battery).
+	Identical bool
+}
+
+// liveDeployment is a mutable type-similarity deployment at the core/lake
+// level, wired exactly like thetis.System wires live mutation: shared
+// frequent-type filter map, signature insertion/removal against the live
+// LSEI, re-balancing order matching a from-scratch rebuild.
+type liveDeployment struct {
+	lk  *lake.Lake
+	eng *core.Engine
+	ix  *core.LSEI
+	fs  *core.TypeFilterState
+}
+
+func newLiveDeployment(env *Env, tables []*table.Table, cfg core.LSEIConfig) *liveDeployment {
+	lv := lake.New(env.KG.Graph)
+	for _, t := range tables {
+		lv.Add(t)
+	}
+	fs := core.NewTypeFilterState([]*lake.Lake{lv}, env.TJ, 0.5)
+	ix := core.BuildTypeLSEIFiltered(lv, env.TJ, cfg, fs.Filter())
+	return &liveDeployment{lk: lv, eng: core.NewEngine(lv, env.TJ), ix: ix, fs: fs}
+}
+
+func (d *liveDeployment) add(t *table.Table) lake.TableID {
+	d.fs.AddTable(t, d.ix)
+	id := d.lk.Add(t)
+	d.ix.AddTable(id)
+	return id
+}
+
+func (d *liveDeployment) remove(id lake.TableID) *table.Table {
+	t := d.lk.Table(id)
+	d.lk.Remove(id)
+	d.ix.RemoveTable(id, t)
+	d.fs.RemoveTable(t, d.ix)
+	return t
+}
+
+func (d *liveDeployment) search(q core.Query, k, votes int) []core.Result {
+	res, _ := core.SearchWithIndex(context.Background(), d.eng, d.ix, votes, q, k, core.FallbackFullScan)
+	return res
+}
+
+// RunLive benchmarks incremental index maintenance with type-Jaccard σ and
+// LSH (30,10), votes=3: mutation latency, rebuild cost, and query latency
+// under churn, ending with a rebuild-equivalence check.
+func RunLive(env *Env) LiveResult {
+	const votes, topK = 3, 10
+	cfg := core.LSEIConfig{Vectors: 30, BandSize: 10, Seed: 1}
+
+	all := env.Lake.Tables()
+	base := len(all) * 3 / 4
+	if len(all)-base > 400 {
+		base = len(all) - 400
+	}
+	out := LiveResult{BaseTables: base, Mutations: len(all) - base}
+
+	queries := make([]core.Query, 0, len(env.Queries1)+len(env.Queries5))
+	for _, bq := range env.Queries1 {
+		queries = append(queries, bq.Query)
+	}
+	for _, bq := range env.Queries5 {
+		queries = append(queries, bq.Query)
+	}
+
+	dep := newLiveDeployment(env, all[:base], cfg)
+
+	// Steady-state query p50 before any churn.
+	static := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		t0 := time.Now()
+		dep.search(q, topK, votes)
+		static = append(static, time.Since(t0))
+	}
+	_, out.QueryP50Static = meanP50(static)
+
+	// Add latency: fold the spare tables into the live index one by one.
+	addTimes := make([]time.Duration, 0, out.Mutations)
+	added := make([]lake.TableID, 0, out.Mutations)
+	for _, t := range all[base:] {
+		t0 := time.Now()
+		added = append(added, dep.add(t))
+		addTimes = append(addTimes, time.Since(t0))
+	}
+	out.AddMean, out.AddP50 = meanP50(addTimes)
+
+	// Query latency under sustained churn: one remove+re-add pair between
+	// consecutive queries keeps the filter and buckets moving.
+	churn := make([]time.Duration, 0, len(queries))
+	for i, q := range queries {
+		slot := i % len(added)
+		tb := dep.remove(added[slot])
+		added[slot] = dep.add(tb)
+		t0 := time.Now()
+		dep.search(q, topK, votes)
+		churn = append(churn, time.Since(t0))
+	}
+	_, out.QueryP50Churn = meanP50(churn)
+
+	// Remove latency over half the spare tables.
+	removeTimes := make([]time.Duration, 0, len(added)/2)
+	for i := 0; i < len(added)/2; i++ {
+		t0 := time.Now()
+		dep.remove(added[i])
+		removeTimes = append(removeTimes, time.Since(t0))
+	}
+	out.RemoveMean, out.RemoveP50 = meanP50(removeTimes)
+
+	// Rebuild cost and score-level equivalence over the survivors.
+	survivors := make([]*table.Table, 0, dep.lk.NumTables())
+	for _, id := range dep.lk.LiveTableIDs() {
+		survivors = append(survivors, dep.lk.Table(id))
+	}
+	t0 := time.Now()
+	ref := newLiveDeployment(env, survivors, cfg)
+	out.Rebuild = time.Since(t0)
+
+	out.Identical = true
+	for _, q := range queries {
+		a := dep.search(q, topK, votes)
+		b := ref.search(q, topK, votes)
+		if len(a) != len(b) {
+			out.Identical = false
+			break
+		}
+		for i := range a {
+			if a[i].Score != b[i].Score {
+				out.Identical = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the live-maintenance benchmark.
+func (r LiveResult) Render(w io.Writer) {
+	renderHeader(w, "Live index maintenance: mutation latency and query latency under churn, LSH(30,10) votes=3 top-10")
+	fmt.Fprintf(w, "base corpus %d tables, %d live mutations against the built index\n\n", r.BaseTables, r.Mutations)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Operation\tMean\tP50")
+	fmt.Fprintf(tw, "AddTable (incremental)\t%v\t%v\n", r.AddMean.Round(time.Microsecond), r.AddP50.Round(time.Microsecond))
+	fmt.Fprintf(tw, "RemoveTable (incremental)\t%v\t%v\n", r.RemoveMean.Round(time.Microsecond), r.RemoveP50.Round(time.Microsecond))
+	fmt.Fprintf(tw, "Full index rebuild\t%v\t\n", r.Rebuild.Round(time.Microsecond))
+	fmt.Fprintf(tw, "Query (static corpus)\t\t%v\n", r.QueryP50Static.Round(time.Microsecond))
+	fmt.Fprintf(tw, "Query (under churn)\t\t%v\n", r.QueryP50Churn.Round(time.Microsecond))
+	tw.Flush()
+	fmt.Fprintf(w, "\nscore-identical to from-scratch rebuild: %v\n", r.Identical)
+}

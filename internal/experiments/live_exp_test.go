@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLiveExperimentShape(t *testing.T) {
+	env := sharedEnv(t)
+	r := RunLive(env)
+	if r.BaseTables <= 0 || r.Mutations <= 0 {
+		t.Fatalf("degenerate setup: base=%d mutations=%d", r.BaseTables, r.Mutations)
+	}
+	if r.AddMean <= 0 || r.RemoveMean <= 0 || r.Rebuild <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	if !r.Identical {
+		t.Fatal("churned index diverged from from-scratch rebuild")
+	}
+	// One incremental add must be far cheaper than a full rebuild — the
+	// point of the feature. Generous 1/10 bound to stay timing-robust.
+	if r.AddMean*10 > r.Rebuild {
+		t.Fatalf("incremental add (%v) is not clearly cheaper than rebuild (%v)", r.AddMean, r.Rebuild)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Live index maintenance", "AddTable (incremental)", "under churn", "rebuild: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// env.Lake must be untouched — other experiments share it.
+	if got, want := env.Lake.NumTables(), env.Config.Tables; got != want {
+		t.Fatalf("RunLive mutated the shared environment: %d tables, want %d", got, want)
+	}
+}

@@ -11,9 +11,11 @@
 // and the IDF informativeness weighting consume), per-entity table
 // frequencies, and lazily built per-table column indexes
 // (table.ColumnIndex) that let the scorer fold a column by distinct
-// entities instead of raw cells. All of it is append-only: tables can be
-// added, never removed, and a Lake is safe for concurrent readers once
-// ingestion has finished.
+// entities instead of raw cells. Tables can be added at any time and
+// removed again (Remove tombstones the slot so every other table keeps its
+// ID — see docs/LIVE_INDEX.md); a Lake is safe for concurrent readers, and
+// mutation must be serialized against them by the caller (thetis.System
+// holds its write lock across Add/Remove).
 package lake
 
 import (
@@ -28,8 +30,9 @@ import (
 // TableID identifies a table within a Lake. IDs are dense and start at 0.
 type TableID int32
 
-// Lake is an append-only corpus of tables tied to a reference KG. It is
-// safe for concurrent readers once ingestion has finished.
+// Lake is a mutable corpus of tables tied to a reference KG. It is safe
+// for concurrent readers; Add/Remove must be serialized against them by
+// the caller.
 type Lake struct {
 	Graph  *kg.Graph
 	tables []*table.Table
@@ -43,6 +46,13 @@ type Lake struct {
 	// colIndex holds one lazily built column index slot per table,
 	// index-aligned with tables.
 	colIndex []*atomic.Pointer[table.ColumnIndex]
+	// removed counts tombstoned slots (nil entries in tables), so the live
+	// table count — the N of every corpus-frequency statistic — stays O(1).
+	removed int
+	// epoch counts corpus mutations (Add and Remove each bump it once).
+	// Anything memoized against the corpus — cross-query caches, the
+	// thetis_index_epoch gauge — keys on it to detect staleness.
+	epoch atomic.Uint64
 }
 
 // New creates an empty lake over graph g.
@@ -65,17 +75,81 @@ func (l *Lake) Add(t *table.Table) TableID {
 		l.postings[e] = append(l.postings[e], id)
 		l.entityFreq[e]++
 	}
+	l.epoch.Add(1)
 	return id
 }
 
-// NumTables returns the number of ingested tables.
-func (l *Lake) NumTables() int { return len(l.tables) }
+// Remove tombstones table id: the slot is nilled (every other table keeps
+// its ID), the table's entities are stripped from the posting lists and
+// frequency counts, and its memoized column index is dropped. Removing an
+// unknown or already-removed ID returns false. Like Add, Remove must be
+// serialized against readers by the caller.
+func (l *Lake) Remove(id TableID) bool {
+	if int(id) < 0 || int(id) >= len(l.tables) || l.tables[int(id)] == nil {
+		return false
+	}
+	t := l.tables[int(id)]
+	for _, e := range t.Entities() {
+		pl := l.postings[e]
+		for i, tid := range pl {
+			if tid == id {
+				pl = append(pl[:i], pl[i+1:]...)
+				break
+			}
+		}
+		if len(pl) == 0 {
+			delete(l.postings, e)
+		} else {
+			l.postings[e] = pl
+		}
+		if l.entityFreq[e]--; l.entityFreq[e] == 0 {
+			delete(l.entityFreq, e)
+		}
+	}
+	l.tables[int(id)] = nil
+	l.colIndex[int(id)].Store(nil)
+	l.removed++
+	l.epoch.Add(1)
+	return true
+}
 
-// Table returns the table with the given ID.
-func (l *Lake) Table(id TableID) *table.Table { return l.tables[int(id)] }
+// NumTables returns the number of live (non-removed) tables — the N behind
+// IDF informativeness, the frequent-type filter, and Stats.
+func (l *Lake) NumTables() int { return len(l.tables) - l.removed }
 
-// Tables returns all tables in ID order. The slice is owned by the lake.
+// NumSlots returns the number of table ID slots ever allocated, including
+// tombstones. Table IDs are always in [0, NumSlots()).
+func (l *Lake) NumSlots() int { return len(l.tables) }
+
+// Epoch returns the corpus mutation counter: it advances by one on every
+// Add and Remove, so equal epochs imply an identical corpus (within one
+// process).
+func (l *Lake) Epoch() uint64 { return l.epoch.Load() }
+
+// Table returns the table with the given ID, or nil when the ID is out of
+// range or the table was removed.
+func (l *Lake) Table(id TableID) *table.Table {
+	if int(id) < 0 || int(id) >= len(l.tables) {
+		return nil
+	}
+	return l.tables[int(id)]
+}
+
+// Tables returns all table slots in ID order. The slice is owned by the
+// lake; removed tables appear as nil entries.
 func (l *Lake) Tables() []*table.Table { return l.tables }
+
+// LiveTableIDs returns the IDs of all live tables in ascending order — the
+// candidate set of a full scan.
+func (l *Lake) LiveTableIDs() []TableID {
+	out := make([]TableID, 0, l.NumTables())
+	for id, t := range l.tables {
+		if t != nil {
+			out = append(out, TableID(id))
+		}
+	}
+	return out
+}
 
 // TablesWith returns the IDs of tables mentioning entity e, in ID order.
 // The slice is owned by the lake and must not be modified.
@@ -89,11 +163,20 @@ func (l *Lake) TablesWith(e kg.EntityID) []TableID { return l.postings[e] }
 // annotations, consistent with the lake's own "re-ingest to update"
 // contract.
 func (l *Lake) ColumnIndex(id TableID) *table.ColumnIndex {
+	if int(id) < 0 || int(id) >= len(l.colIndex) {
+		return nil
+	}
 	slot := l.colIndex[int(id)]
 	if ci := slot.Load(); ci != nil {
 		return ci
 	}
-	ci := table.BuildColumnIndex(l.tables[int(id)])
+	t := l.tables[int(id)]
+	if t == nil {
+		// Removed table: Remove dropped the memo and the slot stays empty
+		// (IDs are never reused), so stale reads are impossible.
+		return nil
+	}
+	ci := table.BuildColumnIndex(t)
 	slot.Store(ci)
 	return ci
 }
@@ -123,14 +206,17 @@ type Stats struct {
 	DistinctEntities int
 }
 
-// ComputeStats scans the corpus once.
+// ComputeStats scans the live corpus once.
 func (l *Lake) ComputeStats() Stats {
-	s := Stats{Tables: len(l.tables), DistinctEntities: len(l.entityFreq)}
+	s := Stats{Tables: l.NumTables(), DistinctEntities: len(l.entityFreq)}
 	if s.Tables == 0 {
 		return s
 	}
 	var rows, cols, cov float64
 	for _, t := range l.tables {
+		if t == nil {
+			continue
+		}
 		rows += float64(t.NumRows())
 		cols += float64(t.NumColumns())
 		cov += t.LinkCoverage()

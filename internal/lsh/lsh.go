@@ -177,10 +177,12 @@ func (h *HyperplaneHasher) Signature(v embedding.Vector) []uint32 {
 	return sig
 }
 
-// Index is a banded LSH bucket index over uint32 item IDs. Insert all items
-// first, then Query; the index is safe for concurrent queries afterwards.
-// Queries maintain cumulative probe counters (band-bucket lookups and items
-// scanned), readable via ProbeCounts and mirrored on /metrics.
+// Index is a banded LSH bucket index over uint32 item IDs. It is safe for
+// concurrent queries; Insert/Remove mutate the bucket maps and must be
+// serialized against queries by the caller (thetis.System holds its write
+// lock across mutations). Queries maintain cumulative probe counters
+// (band-bucket lookups and items scanned), readable via ProbeCounts and
+// mirrored on /metrics.
 type Index struct {
 	bandSize int
 	bands    int
@@ -245,6 +247,36 @@ func (ix *Index) Insert(item uint32, sig []uint32) {
 		key := bandHash(sig, b, ix.bandSize)
 		ix.buckets[b][key] = append(ix.buckets[b][key], item)
 	}
+}
+
+// Remove deletes an item previously Inserted under the same signature,
+// reporting whether it was found in any band. A band bucket emptied by the
+// removal is deleted from its map rather than left as a zero-length entry —
+// NumBuckets and the probe counters in Stats.Trace must look exactly like
+// an index that never held the item. Like Insert, Remove must not run
+// concurrently with queries.
+func (ix *Index) Remove(item uint32, sig []uint32) bool {
+	removed := false
+	for b := 0; b < ix.bands; b++ {
+		key := bandHash(sig, b, ix.bandSize)
+		items := ix.buckets[b][key]
+		for i, it := range items {
+			if it == item {
+				items = append(items[:i], items[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if len(items) == 0 {
+			delete(ix.buckets[b], key)
+		} else {
+			ix.buckets[b][key] = items
+		}
+	}
+	if removed {
+		ix.items--
+	}
+	return removed
 }
 
 // Query returns the bag of items sharing at least one bucket with the

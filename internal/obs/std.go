@@ -146,6 +146,57 @@ func IndexState(r *Registry) *Gauge {
 		"Prefilter index state: 0 building, 1 degraded (brute force), 2 ready.", nil)
 }
 
+// IndexEpoch gauges the corpus mutation epoch: it advances by one on every
+// AddTable/RemoveTable and is what epoch-keyed caches compare against (see
+// docs/LIVE_INDEX.md).
+func IndexEpoch(r *Registry) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_index_epoch",
+		"Corpus mutation epoch (one tick per AddTable/RemoveTable).", nil)
+}
+
+// IndexDeltasTotal counts applied index delta operations, by op
+// ("add", "remove").
+func IndexDeltasTotal(r *Registry, op string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_index_deltas_total",
+		"Index delta operations applied, by op.", Labels{"op": op})
+}
+
+// IndexTombstones gauges the number of removed-table slots awaiting
+// compaction (lake.NumSlots - lake.NumTables).
+func IndexTombstones(r *Registry) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_index_tombstones",
+		"Removed table slots not yet reclaimed by compaction.", nil)
+}
+
+// IndexCompactionsTotal counts background compactions: from-scratch index
+// rebuilds hot-swapped in while queries keep flowing.
+func IndexCompactionsTotal(r *Registry) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_index_compactions_total",
+		"Background index compactions (rebuild + hot swap).", nil)
+}
+
+// IndexFilterResignsTotal counts items re-signed because a corpus mutation
+// flipped a type across the frequent-type threshold.
+func IndexFilterResignsTotal(r *Registry) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter("thetis_index_filter_resigns_total",
+		"LSEI items re-signed after frequent-type filter flips.", nil)
+}
+
 // ShardSearchesTotal counts per-shard scatter legs executed by the
 // coordinator, by shard ("0", "1", …).
 func ShardSearchesTotal(shard string) *Counter {

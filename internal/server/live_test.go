@@ -1,0 +1,92 @@
+package server
+
+// Endpoint tests for live mutation: POST /tables, DELETE /tables/{id}, and
+// the epoch surfaced on /stats (docs/LIVE_INDEX.md).
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const newTableJSON = `{"name":"legends","attributes":["Player","Team"],` +
+	`"rows":[[{"v":"Ernie Banks","e":"res/banks"},{"v":"Chicago Cubs","e":"res/cubs"}]]}`
+
+func doJSON(t *testing.T, method, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s status = %d, want %d", method, url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAddTableEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	before := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	out := doJSON(t, http.MethodPost, ts.URL+"/tables", newTableJSON, http.StatusCreated)
+	id, ok := out["id"].(float64)
+	if !ok {
+		t.Fatalf("POST /tables response lacks numeric id: %v", out)
+	}
+	if out["epoch"].(float64) <= before["epoch"].(float64) {
+		t.Fatalf("epoch did not advance on add: %v -> %v", before["epoch"], out["epoch"])
+	}
+	// The new table is immediately visible and searchable.
+	got := getJSON(t, ts.URL+"/tables/"+strconv.Itoa(int(id)), http.StatusOK)
+	if got["name"] != "legends" {
+		t.Fatalf("GET of new table returned %v", got)
+	}
+	hits := postJSON(t, ts.URL+"/search", `{"query":"Ernie Banks","k":5}`, http.StatusOK)
+	found := false
+	for _, r := range hits["results"].([]any) {
+		if r.(map[string]any)["table"].(float64) == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("semantic search does not find the added table: %v", hits["results"])
+	}
+	after := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if after["tables"].(float64) != before["tables"].(float64)+1 {
+		t.Fatalf("table count %v, want %v", after["tables"], before["tables"].(float64)+1)
+	}
+}
+
+func TestAddTableEndpointRejectsBadBody(t *testing.T) {
+	ts := demoServer(t)
+	doJSON(t, http.MethodPost, ts.URL+"/tables", `{not json`, http.StatusBadRequest)
+	// Structurally invalid: row arity does not match the attributes.
+	doJSON(t, http.MethodPost, ts.URL+"/tables",
+		`{"name":"ragged","attributes":["A"],"rows":[[{"v":"a"},{"v":"b"}]]}`, http.StatusBadRequest)
+}
+
+func TestRemoveTableEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	out := doJSON(t, http.MethodPost, ts.URL+"/tables", newTableJSON, http.StatusCreated)
+	id := strconv.Itoa(int(out["id"].(float64)))
+	del := doJSON(t, http.MethodDelete, ts.URL+"/tables/"+id, "", http.StatusOK)
+	if del["epoch"].(float64) <= out["epoch"].(float64) {
+		t.Fatalf("epoch did not advance on remove: %v -> %v", out["epoch"], del["epoch"])
+	}
+	// Gone from reads; repeat deletes and bad IDs are clean 404s, not 500s.
+	getJSON(t, ts.URL+"/tables/"+id, http.StatusNotFound)
+	doJSON(t, http.MethodDelete, ts.URL+"/tables/"+id, "", http.StatusNotFound)
+	doJSON(t, http.MethodDelete, ts.URL+"/tables/99999", "", http.StatusNotFound)
+	doJSON(t, http.MethodDelete, ts.URL+"/tables/banana", "", http.StatusNotFound)
+}

@@ -6,6 +6,8 @@
 //	GET  /readyz            index lifecycle (WithReadiness/WithShardReadiness)
 //	GET  /stats             corpus and KG statistics
 //	GET  /tables/{id}       one table (name, attributes, rows, categories)
+//	POST /tables            live ingestion of one annotated-JSON table
+//	DELETE /tables/{id}     live removal (docs/LIVE_INDEX.md)
 //	POST /search            semantic search  {"query": "...", "k": 10}
 //	POST /keyword           BM25 keyword search {"q": "...", "k": 10}
 //	POST /hybrid            BM25-complemented semantic search
@@ -38,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -50,7 +53,7 @@ import (
 )
 
 // Backend is the serving surface the HTTP layer needs: the query/search/
-// corpus methods shared by thetis.System (single-node) and
+// corpus/mutation methods shared by thetis.System (single-node) and
 // thetis.ShardedSystem (scatter-gather, thetisd -shards). Both satisfy it
 // structurally; the handlers never know which one answers.
 type Backend interface {
@@ -59,9 +62,12 @@ type Backend interface {
 	KeywordSearch(text string, k int) []thetis.TableID
 	HybridSearchContext(ctx context.Context, q thetis.Query, keywords string, k int) []thetis.TableID
 	Stats() lake.Stats
-	Graph() *thetis.Graph
+	GraphCounts() thetis.GraphCounts
 	NumTables() int
 	Table(id thetis.TableID) *thetis.Table
+	AddTableJSON(data []byte) (thetis.TableID, error)
+	RemoveTable(id thetis.TableID) error
+	IndexEpoch() uint64
 }
 
 // Server is an http.Handler serving one Thetis backend. The underlying
@@ -156,6 +162,8 @@ func New(sys Backend, opts ...Option) *Server {
 	}
 	s.handle("GET", "/stats", s.handleStats)
 	s.handle("GET", "/tables/{id}", s.handleTable)
+	s.handle("POST", "/tables", s.handleAddTable)
+	s.handle("DELETE", "/tables/{id}", s.handleRemoveTable)
 	s.handle("POST", "/search", s.guard("/search", s.handleSearch))
 	s.handle("POST", "/keyword", s.guard("/keyword", s.handleKeyword))
 	s.handle("POST", "/hybrid", s.guard("/hybrid", s.handleHybrid))
@@ -353,26 +361,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sys.Stats()
-	g := s.sys.Graph()
+	// GraphCounts snapshots the KG counters under the backend's serving
+	// lock, so /stats never races a POST /tables interning new entities.
+	g := s.sys.GraphCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"tables":        st.Tables,
 		"mean_rows":     st.MeanRows,
 		"mean_columns":  st.MeanColumns,
 		"mean_coverage": st.MeanCoverage,
-		"entities":      g.NumEntities(),
-		"types":         g.NumTypes(),
-		"predicates":    g.NumPredicates(),
-		"edges":         g.NumEdges(),
+		"entities":      g.Entities,
+		"types":         g.Types,
+		"predicates":    g.Predicates,
+		"edges":         g.Edges,
+		"epoch":         s.sys.IndexEpoch(),
 	})
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	// A nil table covers unassigned IDs AND removed (tombstoned) ones —
+	// live mutation means "id < NumTables" is no longer the liveness test.
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= s.sys.NumTables() {
+	if err != nil || id < 0 {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", r.PathValue("id")))
 		return
 	}
 	t := s.sys.Table(thetis.TableID(id))
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", r.PathValue("id")))
+		return
+	}
 	rows := make([][]string, t.NumRows())
 	for i, row := range t.Rows {
 		cells := make([]string, len(row))
@@ -388,6 +405,53 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		"rows":       rows,
 		"categories": t.Categories,
 		"coverage":   t.LinkCoverage(),
+	})
+}
+
+// maxTableBody bounds a POST /tables body; it matches the delta log's
+// per-record payload cap so anything accepted here is also loggable.
+const maxTableBody = 64 << 20
+
+// handleAddTable ingests one table in the annotated JSON interchange
+// format (the same one-object-per-line layout as JSONL corpora) and folds
+// it into every live index. Responds 201 with the assigned ID and the new
+// corpus epoch.
+func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTableBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	id, err := s.sys.AddTableJSON(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad table: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":    int(id),
+		"epoch": s.sys.IndexEpoch(),
+	})
+}
+
+// handleRemoveTable removes a table from the corpus and every live index.
+// The ID is tombstoned, never reused; a second DELETE answers 404.
+func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", r.PathValue("id")))
+		return
+	}
+	if err := s.sys.RemoveTable(thetis.TableID(id)); err != nil {
+		if errors.Is(err, thetis.ErrNoSuchTable) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"removed": id,
+		"epoch":   s.sys.IndexEpoch(),
 	})
 }
 

@@ -117,6 +117,26 @@ func (s *Local) Add(t *table.Table, global lake.TableID) lake.TableID {
 	return local
 }
 
+// Remove evicts a shard-local table from the lake and, when an index is
+// live, from the LSEI — under whatever frequent-type filter is currently
+// in force, which must still match the stored signatures (the assembler
+// re-balances the shared filter AFTER this call). Returns the removed
+// table (for the assembler's filter accounting), or nil when the local ID
+// is not live. The local ID is tombstoned, never reused, preserving the
+// monotone local→global mapping.
+func (s *Local) Remove(local lake.TableID) *table.Table {
+	t := s.lk.Table(local)
+	if t == nil {
+		return nil
+	}
+	s.lk.Remove(local)
+	if ix := s.index.Load(); ix != nil {
+		ix.RemoveTable(local, t)
+	}
+	s.tables.Set(float64(s.lk.NumTables()))
+	return t
+}
+
 // GlobalID translates a shard-local table ID to its global ID.
 func (s *Local) GlobalID(local lake.TableID) lake.TableID { return s.global[int(local)] }
 

@@ -1,0 +1,360 @@
+// Live-lake maintenance: incremental AddTable/RemoveTable against built
+// indexes, epoch-versioned invalidation, compaction, and the write-ahead
+// delta log that lets a restart replay base snapshot + deltas. The design
+// and its rebuild-equivalence invariant — after any mutation sequence,
+// search results are bit-identical to a from-scratch build over the final
+// corpus — are documented in docs/LIVE_INDEX.md and checked by
+// live_test.go.
+package thetis
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+
+	"thetis/internal/atomicio"
+	"thetis/internal/bm25"
+	"thetis/internal/obs"
+	"thetis/internal/table"
+)
+
+var (
+	mIndexEpoch   = obs.IndexEpoch(nil)
+	mDeltaAdds    = obs.IndexDeltasTotal(nil, "add")
+	mDeltaRemoves = obs.IndexDeltasTotal(nil, "remove")
+	mTombstones   = obs.IndexTombstones(nil)
+	mCompactions  = obs.IndexCompactionsTotal(nil)
+)
+
+// ErrNoSuchTable reports a RemoveTable (or delta replay) against an ID
+// that was never assigned or is already removed.
+var ErrNoSuchTable = errors.New("thetis: no such table")
+
+// Delta-log operation codes.
+const (
+	deltaOpAdd    = byte(1) // payload: one table in the annotated JSON format
+	deltaOpRemove = byte(2) // payload: table ID as little-endian uint32
+)
+
+// RemoveTable removes a table from the corpus and from every live index:
+// its LSH signatures leave the LSEI buckets, the frequent-type filter is
+// re-balanced (re-signing whatever the departure flips), its BM25 postings
+// disappear, and its memoized column index is dropped. The ID is
+// tombstoned, never reused; Table(id) returns nil afterwards. Removal may
+// run concurrently with searches; it blocks them briefly.
+func (s *System) RemoveTable(id TableID) error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lake.Table(id) == nil {
+		return ErrNoSuchTable
+	}
+	if s.delta != nil {
+		var p [4]byte
+		binary.LittleEndian.PutUint32(p[:], uint32(id))
+		s.delta.append(deltaOpRemove, p[:])
+	}
+	s.removeTableLocked(id)
+	return nil
+}
+
+// AddTableJSON ingests one table in the annotated JSON interchange format
+// (the body of the daemon's POST /tables), interning any entity URIs into
+// the graph, and returns its ID.
+func (s *System) AddTableJSON(data []byte) (TableID, error) {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := table.ReadJSON(s.graph, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	s.logAddLocked(t)
+	return s.addTableLocked(t), nil
+}
+
+// IndexEpoch returns the lake's mutation epoch: a counter bumped by every
+// AddTable and RemoveTable (compaction does not bump it — the corpus is
+// unchanged). Memoized per-table state is validated against it.
+func (s *System) IndexEpoch() uint64 { return s.lake.Epoch() }
+
+// Compact rebuilds the active LSEI (and its frequent-type filter state)
+// from the live corpus and hot-swaps it in, shedding tombstoned column
+// slots and emptied buckets accumulated by removals. Searches keep flowing
+// against the old index during the rebuild; the corpus epoch is unchanged.
+// A no-op when no index is active.
+func (s *System) Compact() {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if s.engine == nil || s.index.Load() == nil {
+		return
+	}
+	s.rebuildIndexLocked()
+	mCompactions.Inc()
+}
+
+// GraphCounts is a consistent snapshot of the KG's size counters, taken
+// under the serving lock so it never races live ingestion (which interns
+// new entities into the graph).
+type GraphCounts struct {
+	Entities   int
+	Types      int
+	Predicates int
+	Edges      int
+}
+
+// GraphCounts returns the KG's size counters at one corpus epoch.
+func (s *System) GraphCounts() GraphCounts {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return GraphCounts{
+		Entities:   s.graph.NumEntities(),
+		Types:      s.graph.NumTypes(),
+		Predicates: s.graph.NumPredicates(),
+		Edges:      s.graph.NumEdges(),
+	}
+}
+
+// addTableLocked applies one table addition to every live structure. The
+// frequent-type filter is re-balanced BEFORE the table joins the corpus,
+// so the new table's signatures are computed under the filter that now
+// includes it — the order a from-scratch rebuild implies. Caller holds
+// maintMu and mu.
+func (s *System) addTableLocked(t *Table) TableID {
+	ix := s.index.Load()
+	if s.filterState != nil {
+		if ix != nil {
+			s.filterState.AddTable(t, ix)
+		} else {
+			s.filterState.AddTable(t)
+		}
+	}
+	id := s.lake.Add(t)
+	if ix != nil {
+		ix.AddTable(id)
+	}
+	if s.keyword != nil {
+		s.keyword.Add(int32(id), bm25.TableText(t))
+		s.keyword.Finish()
+	}
+	mDeltaAdds.Inc()
+	s.noteEpochLocked()
+	return id
+}
+
+// removeTableLocked applies one table removal to every live structure. The
+// LSEI removal runs while the filter still matches the stored signatures;
+// the filter re-balances AFTER. Caller holds maintMu and mu and has
+// verified the table is live.
+func (s *System) removeTableLocked(id TableID) {
+	t := s.lake.Table(id)
+	s.lake.Remove(id)
+	ix := s.index.Load()
+	if ix != nil {
+		ix.RemoveTable(id, t)
+	}
+	if s.filterState != nil {
+		if ix != nil {
+			s.filterState.RemoveTable(t, ix)
+		} else {
+			s.filterState.RemoveTable(t)
+		}
+	}
+	if s.keyword != nil {
+		s.keyword.Remove(int32(id))
+		s.keyword.Finish()
+	}
+	mDeltaRemoves.Inc()
+	s.noteEpochLocked()
+}
+
+func (s *System) noteEpochLocked() {
+	mIndexEpoch.Set(float64(s.lake.Epoch()))
+	mTombstones.Set(float64(s.lake.NumSlots() - s.lake.NumTables()))
+}
+
+// logAddLocked write-ahead-logs one addition when a delta log is attached.
+func (s *System) logAddLocked(t *Table) {
+	if s.delta == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := table.WriteJSON(t, s.graph, &buf); err != nil {
+		s.delta.fail(err)
+		return
+	}
+	s.delta.append(deltaOpAdd, buf.Bytes())
+}
+
+// deltaLog binds a System to an append-only atomicio delta log. Append
+// errors are sticky: the in-memory mutation still applies (availability
+// over log durability), the log stops accepting records, and
+// DeltaLogError reports the failure so the operator can snapshot and
+// rotate.
+type deltaLog struct {
+	f   *os.File
+	w   *atomicio.DeltaWriter
+	err error
+}
+
+func (d *deltaLog) append(op byte, payload []byte) {
+	if d.err != nil {
+		return
+	}
+	if err := d.w.Append(op, payload); err != nil {
+		d.err = err
+		return
+	}
+	if err := d.f.Sync(); err != nil {
+		d.err = err
+	}
+}
+
+func (d *deltaLog) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// AttachDeltaLog binds path as the system's write-ahead mutation log.
+//
+// A missing or empty file starts a fresh log whose header records the
+// current table-slot count as the base, and every subsequent AddTable/
+// AddTableJSON/RemoveTable appends one fsynced record. An existing log is
+// validated against the loaded base corpus (slot-count mismatch is
+// corruption), its records are replayed through the normal mutation path —
+// reproducing exactly the index state the previous process reached — and
+// appending resumes at the next sequence number.
+//
+// Any damage — flipped bytes, truncation mid-record, reordered or
+// duplicated records, a remove of a dead ID — surfaces as
+// atomicio.ErrCorruptSnapshot and leaves no log attached; records before
+// the damage may already have mutated the corpus (the replay loop applies
+// as it reads), so callers must treat an error as "restore from base and a
+// clean log", matching the snapshot discipline in docs/RELIABILITY.md.
+//
+// Attach after loading the base corpus and before serving. The delta log
+// covers single-node systems; sharded deployments snapshot per shard
+// (docs/LIVE_INDEX.md).
+func (s *System) AttachDeltaLog(path string) error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if s.delta != nil {
+		return errors.New("thetis: delta log already attached")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() == 0 {
+		dw, err := atomicio.NewDeltaWriter(f, uint64(s.lake.NumSlots()))
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		s.delta = &deltaLog{f: f, w: dw}
+		return nil
+	}
+	next, err := s.replayDeltas(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	s.delta = &deltaLog{f: f, w: atomicio.ResumeDeltaWriter(f, next)}
+	return nil
+}
+
+// replayDeltas validates the log header against the base corpus and
+// replays every record through the normal mutation path, returning the
+// next sequence number for appending.
+func (s *System) replayDeltas(r io.Reader) (uint64, error) {
+	dr, err := atomicio.NewDeltaReader(r)
+	if err != nil {
+		return 0, err
+	}
+	if got, want := dr.BaseTables(), uint64(s.lake.NumSlots()); got != want {
+		return 0, atomicio.Corruptf(
+			"delta log expects a base of %d table slots, corpus has %d (wrong base snapshot?)", got, want)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		_, op, payload, err := dr.Next()
+		if err == io.EOF {
+			return dr.NextSeq(), nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := s.applyDeltaLocked(op, payload); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// applyDeltaLocked re-applies one logged mutation during replay.
+func (s *System) applyDeltaLocked(op byte, payload []byte) error {
+	switch op {
+	case deltaOpAdd:
+		t, err := table.ReadJSON(s.graph, bytes.NewReader(payload))
+		if err != nil {
+			return atomicio.Corruptf("delta add: bad table payload: %v", err)
+		}
+		s.addTableLocked(t)
+	case deltaOpRemove:
+		if len(payload) != 4 {
+			return atomicio.Corruptf("delta remove: payload length %d, want 4", len(payload))
+		}
+		id := TableID(binary.LittleEndian.Uint32(payload))
+		if s.lake.Table(id) == nil {
+			return atomicio.Corruptf("delta remove: table %d is not live", id)
+		}
+		s.removeTableLocked(id)
+	default:
+		return atomicio.Corruptf("unknown delta op %d", op)
+	}
+	return nil
+}
+
+// DeltaLogError returns the sticky error of the attached delta log: nil
+// while every mutation has been durably logged, the first append/sync
+// failure afterwards. Mutations keep applying in memory once the log
+// fails; the operator should snapshot the corpus and attach a fresh log.
+func (s *System) DeltaLogError() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if s.delta == nil {
+		return nil
+	}
+	return s.delta.err
+}
+
+// CloseDeltaLog detaches and closes the delta log (no-op when none is
+// attached). Subsequent mutations are no longer logged.
+func (s *System) CloseDeltaLog() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if s.delta == nil {
+		return nil
+	}
+	err := s.delta.f.Close()
+	s.delta = nil
+	return err
+}

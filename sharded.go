@@ -1,10 +1,13 @@
 package thetis
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"thetis/internal/bm25"
 	"thetis/internal/core"
@@ -13,6 +16,7 @@ import (
 	"thetis/internal/lake"
 	"thetis/internal/obs"
 	"thetis/internal/shard"
+	"thetis/internal/table"
 )
 
 // Sharded scatter-gather serving (docs/SHARDING.md). These are the public
@@ -59,6 +63,8 @@ func NewBalancedPartitioner(n int) Partitioner { return lake.NewBalancedPartitio
 // opts.ForceFullScan.
 func (s *System) SearchShard(ctx context.Context, q Query, k int, opts ShardSearchOptions) ([]Result, SearchStats) {
 	s.mustEngine()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ix := s.index.Load()
 	if opts.ForceFullScan {
 		ix = nil
@@ -75,7 +81,8 @@ func (s *System) SetParallelism(p int) {
 }
 
 // shardLoc locates a global table ID: which shard owns it, under which
-// shard-local ID.
+// shard-local ID. A removed table keeps its slot with shard == -1 — global
+// IDs, like lake slots, are never reused.
 type shardLoc struct {
 	shard int
 	local lake.TableID
@@ -94,9 +101,11 @@ type shardLoc struct {
 // frequent-type filter, the BM25 keyword index, and the full-scan
 // fallback decision. What each shard owns: its slice of the tables, its
 // LSEI and LSH buckets, its column-index memos, and its query-scoped σ
-// caches. Configure-then-search like System: ingestion and configuration
-// must not run concurrently with searches; searches are safe concurrently
-// with each other and with per-shard index hot-swaps.
+// caches. Similarity selection and embedding training remain setup-time,
+// but like System, mutations (AddTable/AddTableJSON/RemoveTable) may run
+// concurrently with searches: the locking is system-wide, not per-shard,
+// because scoring on one shard reads global structures (IDF weights over
+// every lake, the shared frequent-type filter, the global keyword index).
 type ShardedSystem struct {
 	graph *Graph
 	part  Partitioner
@@ -104,6 +113,7 @@ type ShardedSystem struct {
 	shards []*shard.Local
 	lakes  []*lake.Lake
 	owner  []shardLoc
+	live   int // owner slots not tombstoned
 	coord  *Coordinator
 
 	tj    *core.TypeJaccard
@@ -115,6 +125,14 @@ type ShardedSystem struct {
 	votes      int
 
 	keyword *bm25.Index
+
+	// mu/maintMu mirror System's serving and maintenance locks
+	// (docs/LIVE_INDEX.md); epoch mirrors lake.Epoch for the whole
+	// deployment, bumped once per mutation.
+	mu          sync.RWMutex
+	maintMu     sync.Mutex
+	filterState *core.TypeFilterState
+	epoch       atomic.Uint64
 }
 
 // NewShardedSystem creates an empty sharded lake over graph g, placing
@@ -143,36 +161,183 @@ func (ss *ShardedSystem) Graph() *Graph { return ss.graph }
 // NumShards returns the shard count.
 func (ss *ShardedSystem) NumShards() int { return len(ss.shards) }
 
-// ShardNumTables returns how many tables shard i owns (partitioning
+// ShardNumTables returns how many live tables shard i owns (partitioning
 // balance; also exported per shard on thetis_shard_tables).
-func (ss *ShardedSystem) ShardNumTables(i int) int { return ss.shards[i].NumTables() }
+func (ss *ShardedSystem) ShardNumTables(i int) int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.shards[i].NumTables()
+}
 
-// NumTables returns the total number of ingested tables across shards.
-func (ss *ShardedSystem) NumTables() int { return len(ss.owner) }
+// NumTables returns the total number of live tables across shards.
+func (ss *ShardedSystem) NumTables() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.live
+}
 
-// Table returns an ingested table by its global ID.
+// Table returns an ingested table by its global ID, or nil when the ID was
+// never assigned or the table has been removed.
 func (ss *ShardedSystem) Table(id TableID) *Table {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.tableLocked(id)
+}
+
+func (ss *ShardedSystem) tableLocked(id TableID) *Table {
+	if id < 0 || int(id) >= len(ss.owner) {
+		return nil
+	}
 	loc := ss.owner[int(id)]
+	if loc.shard < 0 {
+		return nil
+	}
 	return ss.shards[loc.shard].Lake().Table(loc.local)
 }
 
 // AddTable ingests a table: the partitioner picks its shard, and the
 // returned global ID is assigned in ingestion order — the same ID an
 // unsharded System would assign. Like System.AddTable, live per-shard
-// LSEIs and the keyword index are extended incrementally. Must not run
-// concurrently with searches.
+// LSEIs, the shared frequent-type filter, and the keyword index are
+// extended incrementally; the result ranks bit-identically to rebuilding
+// the deployment from scratch. May run concurrently with searches.
 func (ss *ShardedSystem) AddTable(t *Table) TableID {
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.addTableLocked(t)
+}
+
+func (ss *ShardedSystem) addTableLocked(t *Table) TableID {
 	si := ss.part.Assign(t)
 	if si < 0 || si >= len(ss.shards) {
 		panic(fmt.Sprintf("thetis: partitioner assigned shard %d outside [0, %d)", si, len(ss.shards)))
 	}
+	if ss.filterState != nil {
+		// Re-balance the shared filter before the table joins, so its own
+		// signatures are computed under the filter that includes it.
+		ss.filterState.AddTable(t, ss.liveIndexes()...)
+	}
 	global := TableID(len(ss.owner))
 	local := ss.shards[si].Add(t, global)
 	ss.owner = append(ss.owner, shardLoc{shard: si, local: local})
+	ss.live++
 	if ss.keyword != nil {
 		ss.keyword.Add(int32(global), bm25.TableText(t))
+		ss.keyword.Finish()
 	}
+	mDeltaAdds.Inc()
+	ss.noteEpochLocked()
 	return global
+}
+
+// AddTableJSON ingests one table in the annotated JSON interchange format
+// (the body of the daemon's POST /tables), interning any entity URIs into
+// the graph, and returns its global ID.
+func (ss *ShardedSystem) AddTableJSON(data []byte) (TableID, error) {
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	t, err := table.ReadJSON(ss.graph, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	return ss.addTableLocked(t), nil
+}
+
+// RemoveTable removes a table by its global ID from its owning shard's
+// lake and LSEI, re-balances the shared frequent-type filter across every
+// shard's index, and drops its keyword postings. The global ID is
+// tombstoned, never reused. May run concurrently with searches.
+func (ss *ShardedSystem) RemoveTable(id TableID) error {
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.tableLocked(id) == nil {
+		return ErrNoSuchTable
+	}
+	loc := ss.owner[int(id)]
+	// The owning shard's LSEI sheds the table's signatures under the OLD
+	// filter (signatures must match to be found); the filter re-balances
+	// after.
+	t := ss.shards[loc.shard].Remove(loc.local)
+	if ss.filterState != nil {
+		ss.filterState.RemoveTable(t, ss.liveIndexes()...)
+	}
+	if ss.keyword != nil {
+		ss.keyword.Remove(int32(id))
+		ss.keyword.Finish()
+	}
+	ss.owner[int(id)] = shardLoc{shard: -1}
+	ss.live--
+	mDeltaRemoves.Inc()
+	ss.noteEpochLocked()
+	return nil
+}
+
+// liveIndexes collects every shard's active LSEI (shards still building
+// serve brute-force and have none; their eventual build uses the filter's
+// then-current state).
+func (ss *ShardedSystem) liveIndexes() []*core.LSEI {
+	var out []*core.LSEI
+	for _, sh := range ss.shards {
+		if ix := sh.Index(); ix != nil {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// IndexEpoch returns the deployment's mutation epoch, bumped once per
+// AddTable/RemoveTable (compaction does not bump it).
+func (ss *ShardedSystem) IndexEpoch() uint64 { return ss.epoch.Load() }
+
+func (ss *ShardedSystem) noteEpochLocked() {
+	ss.epoch.Add(1)
+	mIndexEpoch.Set(float64(ss.epoch.Load()))
+	mTombstones.Set(float64(len(ss.owner) - ss.live))
+}
+
+// Compact rebuilds every shard's LSEI (and the shared frequent-type filter
+// state) from the live corpus, shedding tombstoned slots and emptied
+// buckets. Shards hot-swap one by one; searches keep flowing. A no-op
+// until an index has been prepared.
+func (ss *ShardedSystem) Compact() {
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	if !ss.hasAnyIndexLocked() {
+		return
+	}
+	ss.prepareIndexLocked(ss.indexCfg)
+	for i := range ss.shards {
+		ss.buildShardIndexLocked(i)
+	}
+	mCompactions.Inc()
+}
+
+func (ss *ShardedSystem) hasAnyIndexLocked() bool {
+	for _, sh := range ss.shards {
+		if sh.Index() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// GraphCounts returns the KG's size counters at one corpus epoch
+// (System.GraphCounts).
+func (ss *ShardedSystem) GraphCounts() GraphCounts {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return GraphCounts{
+		Entities:   ss.graph.NumEntities(),
+		Types:      ss.graph.NumTypes(),
+		Predicates: ss.graph.NumPredicates(),
+		Edges:      ss.graph.NumEdges(),
+	}
 }
 
 // IngestCorpus streams a JSONL corpus into the sharded lake, exactly like
@@ -237,6 +402,7 @@ func (ss *ShardedSystem) installEngines(sim Similarity) {
 		sh.SetEngine(eng)
 	}
 	ss.typeFilter = nil
+	ss.filterState = nil
 }
 
 // UseTypeSimilarity configures σ as the adjusted Jaccard of taxonomy-
@@ -330,23 +496,42 @@ func (ss *ShardedSystem) embeddingSim() bool {
 // shard (BuildIndex does both).
 func (ss *ShardedSystem) PrepareIndex(cfg IndexConfig) {
 	ss.mustEngines()
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	ss.prepareIndexLocked(cfg)
+}
+
+func (ss *ShardedSystem) prepareIndexLocked(cfg IndexConfig) {
 	if cfg.FrequentTypeThreshold == 0 {
 		cfg.FrequentTypeThreshold = 0.5
 	}
 	ss.indexCfg = cfg
 	if ss.embeddingSim() {
 		ss.typeFilter = nil
+		ss.filterState = nil
 	} else {
-		ss.typeFilter = core.FrequentTypesOver(ss.lakes, ss.tj, cfg.FrequentTypeThreshold)
+		// The filter state both computes the global filter (equal to
+		// FrequentTypesOver) and keeps it — and every shard's signatures —
+		// current under later mutations.
+		fs := core.NewTypeFilterState(ss.lakes, ss.tj, cfg.FrequentTypeThreshold)
+		ss.typeFilter = fs.Filter()
+		ss.filterState = fs
 	}
 }
 
 // BuildShardIndex builds and hot-swaps shard i's LSEI using the
 // configuration and global filter fixed by PrepareIndex. Safe to run
 // concurrently with searches (the shard serves brute force until the
-// swap) and with other shards' builds — the mechanism behind per-shard
-// degraded-mode serving (server.ActivateShardIndexes).
+// swap); builds serialize with mutations and each other on the
+// maintenance lock — the mechanism behind per-shard degraded-mode serving
+// (server.ActivateShardIndexes).
 func (ss *ShardedSystem) BuildShardIndex(i int) {
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	ss.buildShardIndexLocked(i)
+}
+
+func (ss *ShardedSystem) buildShardIndexLocked(i int) {
 	sh := ss.shards[i]
 	var ix *core.LSEI
 	if ss.embeddingSim() {
@@ -362,9 +547,12 @@ func (ss *ShardedSystem) BuildShardIndex(i int) {
 // BuildShardIndex for each shard). The daemon instead activates shards in
 // the background so they hot-swap independently.
 func (ss *ShardedSystem) BuildIndex(cfg IndexConfig) {
-	ss.PrepareIndex(cfg)
+	ss.mustEngines()
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	ss.prepareIndexLocked(cfg)
 	for i := range ss.shards {
-		ss.BuildShardIndex(i)
+		ss.buildShardIndexLocked(i)
 	}
 }
 
@@ -415,29 +603,48 @@ func (ss *ShardedSystem) SearchStats(q Query, k int) ([]Result, SearchStats) {
 // SearchStatsContext is SearchStats honoring cancellation and deadlines.
 func (ss *ShardedSystem) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
 	ss.mustEngines()
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	return ss.coord.Search(ctx, q, k)
 }
 
 // ParseQuery resolves a textual query into entity tuples (System.ParseQuery).
 func (ss *ShardedSystem) ParseQuery(text string) (Query, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	return core.ParseQuery(ss.graph, text)
 }
 
 // BuildKeywordIndex builds the BM25 index used by KeywordSearch and
 // HybridSearch. The keyword index is global — BM25's IDF depends on
 // corpus-wide document frequencies, so sharding it would change scores.
+// Later AddTable/RemoveTable calls keep it current.
 func (ss *ShardedSystem) BuildKeywordIndex() {
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
 	kw := bm25.NewIndex()
 	for gid, loc := range ss.owner {
+		if loc.shard < 0 {
+			continue
+		}
 		kw.Add(int32(gid), bm25.TableText(ss.shards[loc.shard].Lake().Table(loc.local)))
 	}
+	kw.Finish()
+	ss.mu.Lock()
 	ss.keyword = kw
+	ss.mu.Unlock()
 }
 
 // KeywordSearch runs BM25 keyword search over table text and returns the
 // top-k global table IDs.
 func (ss *ShardedSystem) KeywordSearch(text string, k int) []TableID {
 	ss.mustKeyword()
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.keywordSearchLocked(text, k)
+}
+
+func (ss *ShardedSystem) keywordSearchLocked(text string, k int) []TableID {
 	hits := ss.keyword.Search(text, k)
 	out := make([]TableID, len(hits))
 	for i, h := range hits {
@@ -457,12 +664,15 @@ func (ss *ShardedSystem) HybridSearch(q Query, keywords string, k int) []TableID
 func (ss *ShardedSystem) HybridSearchContext(ctx context.Context, q Query, keywords string, k int) []TableID {
 	ss.mustEngines()
 	ss.mustKeyword()
-	sem, _ := ss.SearchStatsContext(ctx, q, k)
+	// One read lock across both halves (see System.HybridSearchContext).
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	sem, _ := ss.coord.Search(ctx, q, k)
 	semIDs := make([]int, len(sem))
 	for i, r := range sem {
 		semIDs[i] = int(r.Table)
 	}
-	bmIDs := ss.KeywordSearch(keywords, k)
+	bmIDs := ss.keywordSearchLocked(keywords, k)
 	bmInts := make([]int, len(bmIDs))
 	for i, id := range bmIDs {
 		bmInts[i] = int(id)
@@ -479,6 +689,8 @@ func (ss *ShardedSystem) HybridSearchContext(ctx context.Context, q Query, keywo
 // means by table count and unioning distinct entities (an entity mentioned
 // on two shards counts once, like in one lake).
 func (ss *ShardedSystem) Stats() lake.Stats {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	agg := lake.Stats{}
 	distinct := make(map[kg.EntityID]struct{})
 	var rows, cols, cov float64

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"thetis/internal/bm25"
@@ -162,8 +163,15 @@ func DefaultTrainConfig() TrainConfig { return embedding.DefaultTrainConfig() }
 // System is a semantic data lake with its search machinery: the KG, the
 // table corpus, an entity similarity, optional LSH prefiltering indexes,
 // and a BM25 keyword index for hybrid search. Ingest tables first, then
-// choose a similarity, then search. A System is safe for concurrent
-// searches once configured.
+// choose a similarity, then search.
+//
+// Once configured, a System is safe for concurrent searches AND concurrent
+// mutations (AddTable/AddTableJSON/RemoveTable, docs/LIVE_INDEX.md): search
+// paths hold a read lock for their full duration, mutations a brief write
+// lock, so every search observes the corpus, the LSEI, the frequent-type
+// filter, and the keyword index at one consistent epoch. Configuration
+// calls (similarity selection, embedding training) remain setup-time and
+// must not race with serving.
 type System struct {
 	graph *Graph
 	lake  *lake.Lake
@@ -181,6 +189,24 @@ type System struct {
 	votes    atomic.Int32
 
 	keyword *bm25.Index
+
+	// mu is the serving lock: searches (and other corpus reads) hold RLock
+	// for their full duration, mutations hold Lock while they patch the
+	// lake, LSEI, filter, and keyword index together.
+	mu sync.RWMutex
+	// maintMu serializes maintenance against mutations: AddTable/
+	// RemoveTable, BuildIndex/LoadIndex, Compact, and AttachDeltaLog all
+	// hold it (lock order: maintMu before mu). Index builds run under
+	// maintMu alone so searches keep flowing while a fresh index is built
+	// aside and hot-swapped in.
+	maintMu sync.Mutex
+	// filterState tracks the frequent-type filter under mutation for the
+	// type-similarity LSEI (nil for embedding indexes or when no index is
+	// live). Guarded by maintMu for structure, mu for the shared filter map.
+	filterState *core.TypeFilterState
+	// delta, when attached, write-ahead-logs every mutation so a restart
+	// can replay base snapshot + deltas (AttachDeltaLog).
+	delta *deltaLog
 }
 
 // New creates an empty semantic data lake over the knowledge graph g.
@@ -193,32 +219,42 @@ func New(g *Graph) *System {
 // Graph returns the underlying knowledge graph.
 func (s *System) Graph() *Graph { return s.graph }
 
-// NumTables returns the number of ingested tables.
-func (s *System) NumTables() int { return s.lake.NumTables() }
+// NumTables returns the number of live (not removed) tables.
+func (s *System) NumTables() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lake.NumTables()
+}
 
-// Table returns an ingested table by ID.
-func (s *System) Table(id TableID) *Table { return s.lake.Table(id) }
+// Table returns an ingested table by ID, or nil when the ID was never
+// assigned or the table has been removed.
+func (s *System) Table(id TableID) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lake.Table(id)
+}
 
 // AddTable ingests a table (annotations included) and returns its ID.
 // Tables must be fully annotated before ingestion; use LinkTable first when
 // links come from a Linker.
 //
 // Ingestion is incremental: tables added after BuildIndex or
-// BuildKeywordIndex are folded into the live indexes, honoring the
-// semantic-data-lake principle of effortless dataset addition. Similarity
-// structures cover the KG as it was when the similarity was selected —
-// tables mentioning entities added to the graph afterwards still ingest
-// fine, but call Refresh to make the new entities similar to anything.
-// AddTable must not run concurrently with searches.
+// BuildKeywordIndex are folded into the live indexes — LSH signatures
+// inserted, the frequent-type filter re-balanced, BM25 postings extended —
+// honoring the semantic-data-lake principle of effortless dataset
+// addition, and the result is bit-identical to rebuilding from scratch
+// (docs/LIVE_INDEX.md). AddTable may run concurrently with searches; it
+// blocks them briefly. Similarity structures cover the KG as it was when
+// the similarity was selected — tables mentioning entities added to the
+// graph afterwards still ingest fine, but call Refresh to make the new
+// entities similar to anything.
 func (s *System) AddTable(t *Table) TableID {
-	id := s.lake.Add(t)
-	if ix := s.index.Load(); ix != nil {
-		ix.AddTable(id)
-	}
-	if s.keyword != nil {
-		s.keyword.Add(int32(id), bm25.TableText(t))
-	}
-	return id
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logAddLocked(t)
+	return s.addTableLocked(t)
 }
 
 // IngestOptions configures IngestCorpus. The zero value is strict
@@ -340,6 +376,7 @@ func (s *System) UseTypeSimilarity() {
 	}
 	s.engine = core.NewEngine(s.lake, s.tj)
 	s.index.Store(nil)
+	s.filterState = nil
 }
 
 // UseEmbeddingSimilarity configures σ as the clamped cosine of entity
@@ -352,6 +389,7 @@ func (s *System) UseEmbeddingSimilarity() {
 	s.ec = core.NewEmbeddingCosine(s.graph, s.store)
 	s.engine = core.NewEngine(s.lake, s.ec)
 	s.index.Store(nil)
+	s.filterState = nil
 }
 
 // UseCombinedSimilarity configures σ as a weighted blend of the type and
@@ -371,6 +409,7 @@ func (s *System) UseCombinedSimilarity(typeWeight, embeddingWeight float64) {
 		[]float64{typeWeight, embeddingWeight})
 	s.engine = core.NewEngine(s.lake, comb)
 	s.index.Store(nil)
+	s.filterState = nil
 }
 
 // RelaxedSearch is Search with automatic relaxation of over-specialized
@@ -387,6 +426,8 @@ func (s *System) RelaxedSearch(q Query, k, minResults int, minScore float64) ([]
 // dead.
 func (s *System) RelaxedSearchContext(ctx context.Context, q Query, k, minResults int, minScore float64) ([]Result, Query) {
 	s.mustEngine()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.engine.RelaxedSearchContext(ctx, q, core.RelaxOptions{K: k, MinResults: minResults, MinScore: minScore})
 }
 
@@ -397,6 +438,7 @@ func (s *System) RelaxedSearchContext(ctx context.Context, q Query, k, minResult
 func (s *System) UsePredicateSimilarity() {
 	s.engine = core.NewEngine(s.lake, core.NewPredicateJaccard(s.graph))
 	s.index.Store(nil)
+	s.filterState = nil
 }
 
 // SetAggregation switches between MAX (default, recommended) and AVG
@@ -424,16 +466,40 @@ func (s *System) SetMapping(m MappingMethod) {
 //
 // The index is built aside and installed atomically, so BuildIndex may run
 // concurrently with searches (which serve brute-force until the swap) —
-// the mechanism behind the daemon's degraded-mode serving. It must not run
-// concurrently with ingestion or similarity changes.
+// the mechanism behind the daemon's degraded-mode serving. It serializes
+// against ingestion via the maintenance lock; similarity changes remain
+// setup-time.
 func (s *System) BuildIndex(cfg IndexConfig) {
 	s.mustEngine()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	s.indexCfg = cfg
+	s.rebuildIndexLocked()
+}
+
+// rebuildIndexLocked builds a fresh LSEI (and, for the type path, a fresh
+// frequent-type filter state sharing one map with it) over the live corpus
+// and hot-swaps it in. Caller holds maintMu; searches keep flowing.
+func (s *System) rebuildIndexLocked() {
+	cfg := s.indexCfg
 	if s.ec != nil && s.engine.Sim == Similarity(s.ec) {
+		s.filterState = nil
 		s.index.Store(core.BuildEmbeddingLSEI(s.lake, s.ec, s.store.Dim(), cfg))
-	} else {
-		s.index.Store(core.BuildTypeLSEI(s.lake, s.tj, cfg))
+		return
 	}
+	fs := core.NewTypeFilterState([]*lake.Lake{s.lake}, s.tj, thresholdOf(cfg))
+	ix := core.BuildTypeLSEIFiltered(s.lake, s.tj, cfg, fs.Filter())
+	s.index.Store(ix)
+	s.filterState = fs
+}
+
+// thresholdOf resolves the effective frequent-type threshold of a config
+// (0 means the paper's default 0.5, matching BuildTypeLSEIFiltered).
+func thresholdOf(cfg IndexConfig) float64 {
+	if cfg.FrequentTypeThreshold == 0 {
+		return 0.5
+	}
+	return cfg.FrequentTypeThreshold
 }
 
 // HasIndex reports whether an LSEI is currently active.
@@ -445,6 +511,8 @@ func (s *System) SetVotes(v int) { s.votes.Store(int32(v)) }
 // SaveIndex serializes the built LSEI so a later process can LoadIndex
 // instead of re-hashing the corpus.
 func (s *System) SaveIndex(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ix := s.index.Load()
 	if ix == nil {
 		return errors.New("thetis: no index built")
@@ -460,11 +528,15 @@ func (s *System) SaveIndex(w io.Writer) error {
 // the previously active index (if any) in place.
 func (s *System) LoadIndex(r io.Reader) error {
 	s.mustEngine()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	if s.ec != nil && s.engine.Sim == Similarity(s.ec) {
 		x, err := core.LoadEmbeddingLSEI(s.lake, s.ec, r)
 		if err != nil {
 			return err
 		}
+		s.indexCfg = x.Config()
+		s.filterState = nil
 		s.index.Store(x)
 		return nil
 	}
@@ -472,6 +544,11 @@ func (s *System) LoadIndex(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	// Adopt the snapshot's filter map as live mutation state so later
+	// AddTable/RemoveTable keep filter and signatures in lockstep.
+	s.indexCfg = x.Config()
+	s.filterState = core.ResumeTypeFilterState(
+		x.TypeFilter(), []*lake.Lake{s.lake}, s.tj, thresholdOf(x.Config()), x)
 	s.index.Store(x)
 	return nil
 }
@@ -512,25 +589,47 @@ func (s *System) SearchStats(q Query, k int) ([]Result, SearchStats) {
 // subset and Stats.Truncated is set — graceful degradation, not an error.
 func (s *System) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
 	s.mustEngine()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.searchStatsLocked(ctx, q, k)
+}
+
+// searchStatsLocked is the search pipeline body; the caller holds mu.RLock
+// so the corpus, index, filter, and keyword structures stay at one epoch.
+func (s *System) searchStatsLocked(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
 	return core.SearchWithIndex(ctx, s.engine, s.index.Load(), int(s.votes.Load()), q, k, core.FallbackFullScan)
 }
 
 // ParseQuery resolves a textual query ("entity | entity" per line, matching
 // URIs or labels) into entity tuples.
 func (s *System) ParseQuery(text string) (Query, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return core.ParseQuery(s.graph, text)
 }
 
 // BuildKeywordIndex builds the BM25 index used by KeywordSearch and
-// HybridSearch. Call after all tables are ingested.
+// HybridSearch. Later AddTable/RemoveTable calls keep it current, so one
+// build after bulk ingestion suffices.
 func (s *System) BuildKeywordIndex() {
-	s.keyword = bm25.IndexLake(s.lake)
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	kw := bm25.IndexLake(s.lake)
+	s.mu.Lock()
+	s.keyword = kw
+	s.mu.Unlock()
 }
 
 // KeywordSearch runs BM25 keyword search over table text and returns the
 // top-k table IDs.
 func (s *System) KeywordSearch(text string, k int) []TableID {
 	s.mustKeyword()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.keywordSearchLocked(text, k)
+}
+
+func (s *System) keywordSearchLocked(text string, k int) []TableID {
 	hits := s.keyword.Search(text, k)
 	out := make([]TableID, len(hits))
 	for i, h := range hits {
@@ -552,12 +651,17 @@ func (s *System) HybridSearch(q Query, keywords string, k int) []TableID {
 func (s *System) HybridSearchContext(ctx context.Context, q Query, keywords string, k int) []TableID {
 	s.mustEngine()
 	s.mustKeyword()
-	sem, _ := s.SearchStatsContext(ctx, q, k)
+	// One read lock across both halves: the semantic and keyword rankings
+	// are computed against the same corpus epoch (and RLock does not nest
+	// safely under a waiting writer).
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sem, _ := s.searchStatsLocked(ctx, q, k)
 	semIDs := make([]int, len(sem))
 	for i, r := range sem {
 		semIDs[i] = int(r.Table)
 	}
-	bmIDs := s.KeywordSearch(keywords, k)
+	bmIDs := s.keywordSearchLocked(keywords, k)
 	bmInts := make([]int, len(bmIDs))
 	for i, id := range bmIDs {
 		bmInts[i] = int(id)
@@ -572,7 +676,11 @@ func (s *System) HybridSearchContext(ctx context.Context, q Query, keywords stri
 
 // Stats returns corpus statistics (table count, mean rows/columns, link
 // coverage).
-func (s *System) Stats() lake.Stats { return s.lake.ComputeStats() }
+func (s *System) Stats() lake.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lake.ComputeStats()
+}
 
 var errNoEmbeddings = errors.New("thetis: no embeddings trained or loaded")
 
