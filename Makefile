@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck
+.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck anncheck
 
 all: check
 
@@ -42,13 +42,20 @@ shardcheck:
 livecheck:
 	$(GO) test -race -run '^TestLive' .
 
-check: fmt vet build race linkcheck shardcheck livecheck
+# ANN serving battery under the race detector (docs/ANN.md): HNSW graph
+# invariants, off-mode bit-identity, parallelism/shard determinism, epoch
+# fallback + rebuild, and the recall/NDCG thresholds of the differential
+# harness (`benchrunner -exp ann`).
+anncheck:
+	$(GO) test -race -run '^Test(ANN|HNSW)' . ./internal/embedding ./internal/experiments
+
+check: fmt vet build race linkcheck shardcheck livecheck anncheck
 
 # Replays every fuzz target's seed corpus (f.Add seeds + testdata/fuzz/)
 # as a fast regression suite. Live exploration happens in CI and via
 # `go test -fuzz <Target> <pkg>`.
 fuzz:
-	$(GO) test -run '^Fuzz' ./internal/atomicio ./internal/bm25 ./internal/core ./internal/kg ./internal/lsh ./internal/server
+	$(GO) test -run '^Fuzz' ./internal/atomicio ./internal/bm25 ./internal/core ./internal/embedding ./internal/kg ./internal/lsh ./internal/server
 
 # Fault-injection and corruption-matrix suite (docs/RELIABILITY.md): every
 # test named Corrupt* or Fault* — single-byte snapshot flips, truncations,

@@ -1,0 +1,260 @@
+package thetis
+
+// ANN serving battery (docs/ANN.md): top-k σ must be a pure serving-time
+// overlay — off means bit-identical exact rankings, on means deterministic
+// rankings across parallelism and shard counts, and a corpus mutation
+// degrades to exact σ (never a stale graph) until the background rebuild
+// lands. The concurrency legs run under -race via `make anncheck`.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"thetis/internal/obs"
+)
+
+var (
+	annOnce    sync.Once
+	annStore   *EmbeddingStore
+	annQueries []Query
+)
+
+// annEnv trains one small embedding store over the shared battery KG and
+// derives mixed 1-/5-tuple queries. The store is immutable and shared; each
+// test builds its own System around it.
+func annEnv(t *testing.T) (*EmbeddingStore, []*Table, []Query) {
+	t.Helper()
+	kgEnv, tables, queries := batteryEnv(t)
+	annOnce.Do(func() {
+		sys := New(kgEnv.Graph)
+		annStore = sys.TrainEmbeddings(
+			WalkConfig{WalksPerEntity: 6, Length: 6, Undirected: true, Seed: 9},
+			TrainConfig{Dim: 16, Window: 3, Negatives: 4, Epochs: 2, LearningRate: 0.03, Seed: 9},
+		)
+		annQueries = queries
+	})
+	return annStore, tables, annQueries
+}
+
+// annSystem builds a System over n battery tables with embedding σ
+// selected; enable ANN per test.
+func annSystem(t *testing.T, n int) *System {
+	t.Helper()
+	store, tables, _ := annEnv(t)
+	kgEnv, _, _ := batteryEnv(t)
+	sys := New(kgEnv.Graph)
+	if n > len(tables) {
+		n = len(tables)
+	}
+	for _, tb := range tables[:n] {
+		sys.AddTable(tb)
+	}
+	sys.SetEmbeddings(store)
+	sys.UseEmbeddingSimilarity()
+	return sys
+}
+
+func rankingsEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Table != b[i].Table || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// TestANNOffBitIdentical: enabling then disabling ANN must leave the engine
+// scoring bit-identically to a system that never turned it on.
+func TestANNOffBitIdentical(t *testing.T) {
+	_, _, queries := annEnv(t)
+	plain := annSystem(t, 200)
+	toggled := annSystem(t, 200)
+	if err := toggled.EnableAnnTopK(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	toggled.DisableAnnTopK()
+	for qi, q := range queries {
+		want := plain.Search(q, 10)
+		got := toggled.Search(q, 10)
+		if !rankingsEqual(want, got) {
+			t.Fatalf("q%d: rankings differ after enable/disable round trip", qi)
+		}
+	}
+}
+
+// TestANNDeterministicAcrossParallelism: neighborhoods are resolved before
+// scoring workers start, so the top-k σ ranking must not depend on the
+// worker count.
+func TestANNDeterministicAcrossParallelism(t *testing.T) {
+	_, _, queries := annEnv(t)
+	sys := annSystem(t, 200)
+	if err := sys.EnableAnnTopK(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	var baseline [][]Result
+	for _, par := range []int{1, 4, 16} {
+		sys.SetParallelism(par)
+		for qi, q := range queries {
+			got := sys.Search(q, 10)
+			if par == 1 {
+				baseline = append(baseline, got)
+				continue
+			}
+			if !rankingsEqual(baseline[qi], got) {
+				t.Fatalf("q%d: ranking at parallelism %d differs from parallelism 1", qi, par)
+			}
+		}
+	}
+}
+
+// TestANNShardedMatchesUnsharded: one shared graph serves every shard, so a
+// sharded deployment with ANN on must rank bit-identically to the unsharded
+// system with ANN on.
+func TestANNShardedMatchesUnsharded(t *testing.T) {
+	store, tables, queries := annEnv(t)
+	kgEnv, _, _ := batteryEnv(t)
+	sys := annSystem(t, 200)
+	ss := NewShardedSystem(kgEnv.Graph, NewHashPartitioner(4))
+	for _, tb := range tables[:200] {
+		ss.AddTable(tb)
+	}
+	ss.SetEmbeddings(store)
+	ss.UseEmbeddingSimilarity()
+	if err := sys.EnableAnnTopK(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.EnableAnnTopK(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want := sys.Search(q, 10)
+		got := ss.Search(q, 10)
+		if !rankingsEqual(want, got) {
+			t.Fatalf("q%d: sharded ANN ranking differs from unsharded", qi)
+		}
+	}
+	st := ss.AnnStatus()
+	if !st.Enabled || !st.Current || st.GraphNodes == 0 {
+		t.Fatalf("sharded AnnStatus = %+v", st)
+	}
+}
+
+// TestANNEpochFallbackAndRebuild: a corpus mutation must flip the graph to
+// stale, searches must serve exact σ meanwhile (never the stale graph), and
+// the background rebuild must converge to a current graph.
+func TestANNEpochFallbackAndRebuild(t *testing.T) {
+	_, tables, queries := annEnv(t)
+	sys := annSystem(t, 200)
+	exact := annSystem(t, 200) // stays in exact mode, mutated in lockstep
+	if err := sys.EnableAnnTopK(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.AnnStatus(); !st.Enabled || !st.Current {
+		t.Fatalf("fresh AnnStatus = %+v", st)
+	}
+
+	sys.AddTable(tables[200])
+	exact.AddTable(tables[200])
+	if st := sys.AnnStatus(); st.Current {
+		t.Fatalf("AnnStatus still current after mutation: %+v", st)
+	}
+	// The first search after the epoch bump serves the degraded exact
+	// fallback — bit-identical to the pure exact system.
+	for qi, q := range queries {
+		if !rankingsEqual(exact.Search(q, 10), sys.Search(q, 10)) {
+			t.Fatalf("q%d: degraded fallback differs from exact", qi)
+		}
+	}
+	// The fallback search kicked a single-flight rebuild; wait for it.
+	deadline := time.Now().Add(10 * time.Second)
+	for !sys.AnnStatus().Current {
+		if time.Now().After(deadline) {
+			t.Fatal("ANN graph never caught up with the corpus epoch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for qi, q := range queries {
+		if got := sys.Search(q, 10); len(got) == 0 {
+			t.Fatalf("q%d: no results after rebuild", qi)
+		}
+	}
+}
+
+// TestANNConcurrentSearchScrapeRebuild hammers one ANN-enabled system with
+// concurrent searches and /metrics scrapes while corpus mutations force
+// epoch rebuilds mid-flight. Run under -race (make anncheck); the assertion
+// is the absence of races/panics plus non-empty results throughout.
+func TestANNConcurrentSearchScrapeRebuild(t *testing.T) {
+	_, tables, queries := annEnv(t)
+	sys := annSystem(t, 200)
+	if err := sys.EnableAnnTopK(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	handler := obs.Default.Handler()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(w+i)%len(queries)]
+				if res := sys.Search(q, 10); len(res) == 0 {
+					select {
+					case errc <- fmt.Errorf("worker %d: empty result", w):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			if rec.Code != 200 {
+				select {
+				case errc <- fmt.Errorf("metrics scrape status %d", rec.Code):
+				default:
+				}
+				return
+			}
+			_ = sys.AnnStatus()
+		}
+	}()
+	// Mutations from the test goroutine: each bumps the epoch, forcing the
+	// searchers through the degraded-fallback + background-rebuild path.
+	for i := 200; i < 210 && i < len(tables); i++ {
+		sys.AddTable(tables[i])
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -3,6 +3,7 @@
 //
 //	thetisd -kg bench/kg.nt -corpus bench/corpus.jsonl -addr :8080 \
 //	        [-sim types|embeddings] [-embfile embeddings.bin] \
+//	        [-ann-topk K] [-ann-ef N] \
 //	        [-shards 1] [-shard-by hash|size] \
 //	        [-lsh] [-votes 3] [-vectors 30] [-band 10] [-indexfile index.bin] \
 //	        [-lenient-ingest] [-ingest-budget N] [-max-line BYTES] \
@@ -15,6 +16,13 @@
 // shard's LSEI builds and hot-swaps independently (per-shard states on
 // /readyz and thetis_shard_* metrics). -indexfile requires -shards 1:
 // snapshots cover one unsharded index.
+//
+// Approximate σ (docs/ANN.md): with -sim embeddings, -ann-topk K scores
+// each query entity against only its K nearest store entities (found
+// through a pure-Go HNSW graph; -ann-ef tunes the recall/latency
+// trade-off) instead of the whole entity store. Corpus mutations bump the
+// index epoch; searches fall back to exact σ while the graph rebuilds in
+// the background (thetis_ann_* metrics, GET /debug/ann).
 //
 // Request lifecycle: every search-type request runs under -timeout (an
 // expiring search returns its partial ranking marked "truncated"), at most
@@ -70,6 +78,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	sim := flag.String("sim", "types", "similarity: types | embeddings")
 	embFile := flag.String("embfile", "", "embeddings file (for -sim embeddings)")
+	annTopK := flag.Int("ann-topk", 0, "approximate top-k sigma: each query entity keeps its K nearest store entities via HNSW, 0 = exact (requires -sim embeddings)")
+	annEf := flag.Int("ann-ef", 64, "HNSW search beam width for -ann-topk (higher = better recall, slower)")
 	shards := flag.Int("shards", 1, "in-process shard count for scatter-gather serving (1 = unsharded)")
 	shardBy := flag.String("shard-by", "hash", "partitioning strategy for -shards > 1: hash | size")
 	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering")
@@ -123,6 +133,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *annTopK < 0 || (*annTopK > 0 && *sim != "embeddings") {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -ann-topk needs a positive K and -sim embeddings\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *annTopK > 0 && *annEf < 1 {
+		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -ann-ef must be >= 1 (got %d)\n", *annEf)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	report := thetis.NewIngestReport()
 	sys, single, sharded := load(*kgPath, *corpusPath, *shards, *shardBy, thetis.IngestOptions{
@@ -167,6 +187,12 @@ func main() {
 			sys.TrainEmbeddings(thetis.DefaultWalkConfig(), thetis.DefaultTrainConfig())
 		}
 		sys.UseEmbeddingSimilarity()
+		if *annTopK > 0 {
+			log.Printf("building ANN graph (top-%d sigma, ef %d)…", *annTopK, *annEf)
+			if err := sys.EnableAnnTopK(*annTopK, *annEf); err != nil {
+				log.Fatalf("enabling ANN top-k sigma: %v", err)
+			}
+		}
 	default:
 		log.Fatalf("unknown similarity %q", *sim)
 	}
@@ -294,6 +320,7 @@ type backend interface {
 	IngestCorpus(r io.Reader, opts thetis.IngestOptions) (int, error)
 	UseTypeSimilarity()
 	UseEmbeddingSimilarity()
+	EnableAnnTopK(k, ef int) error
 	TrainEmbeddings(w thetis.WalkConfig, t thetis.TrainConfig) *thetis.EmbeddingStore
 	LoadEmbeddings(r io.Reader) error
 	BuildKeywordIndex()

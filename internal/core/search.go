@@ -67,19 +67,30 @@ type Engine struct {
 	// benchcheck baseline rely on that. See also SetSigmaCacheEnabled and
 	// the nosigmacache build tag.
 	DisableSigmaCache bool
+	// SigmaTopK > 0 turns on approximate top-k σ scoring (docs/ANN.md):
+	// each query entity resolves its k nearest store entities once per
+	// search through Ann, and pairs outside that neighborhood score σ = 0.
+	// 0 (the default) scores exactly; results are then bit-identical to an
+	// engine without the field.
+	SigmaTopK int
+	// Ann supplies the ANN index for top-k σ, consulted once per search.
+	// A nil source or a nil index falls back to exact σ for that search
+	// (counted on thetis_ann_fallbacks_total).
+	Ann AnnSource
 }
 
-// newSigmaCache returns the query-scoped σ cache for one search, or nil
-// when caching is disabled by the build tag, the process-wide switch, or
-// the engine.
-func (eng *Engine) newSigmaCache(q Query) *SigmaCache {
+// newSigmaCache returns the query-scoped σ cache for one search over the
+// given σ (the engine's exact σ, or the search's top-k σ), or nil when
+// caching is disabled by the build tag, the process-wide switch, or the
+// engine.
+func (eng *Engine) newSigmaCache(q Query, sim Similarity) *SigmaCache {
 	if !sigmaCacheBuildEnabled || eng.DisableSigmaCache || sigmaCacheRuntimeOff.Load() {
 		return nil
 	}
 	if eng.Lake == nil || eng.Lake.Graph == nil {
 		return nil
 	}
-	return NewSigmaCache(q, eng.Sim, eng.Lake.Graph.NumEntities())
+	return NewSigmaCache(q, sim, eng.Lake.Graph.NumEntities())
 }
 
 // NewEngine builds an engine with IDF informativeness and MAX aggregation,
@@ -199,11 +210,16 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 		panicked     int
 		hits, misses int64
 	}
+	// sim is the σ this search scores with: the engine's exact σ, or —
+	// with SigmaTopK on — a per-search top-k neighborhood σ resolved once
+	// here, before the workers start, so rankings do not depend on
+	// Parallelism.
+	sim := eng.searchSim(q, tr)
 	// sigma is the query-scoped σ cache, shared by every scoring worker of
 	// this search so each distinct (query entity, cell entity) pair is
 	// scored exactly once per query. Nil when disabled; scorers then fall
 	// back to per-worker memoization.
-	sigma := eng.newSigmaCache(q)
+	sigma := eng.newSigmaCache(q, sim)
 	// scoreOne contains a panic to the table that caused it: scoring worker
 	// goroutines are outside any net/http recovery, so an uncontained panic
 	// here would kill the whole process.
@@ -244,7 +260,7 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 			defer wg.Done()
 			// Each worker gets its own scorer (scratch rows, local σ
 			// fallback); the SigmaCache is the part they share.
-			sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
+			sc := newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
 			defer func() {
 				parts[w].hits += sc.hits
 				parts[w].misses += sc.misses
@@ -263,7 +279,7 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 					// cache stays valid.)
 					parts[w].hits += sc.hits
 					parts[w].misses += sc.misses
-					sc = newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
+					sc = newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
 					continue
 				}
 				if score > 0 {
@@ -328,7 +344,8 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 // cache, column pre-aggregation), so its score is bit-identical to the one
 // the same table earns inside Search.
 func (eng *Engine) ScoreTable(q Query, tid lake.TableID) (float64, time.Duration) {
-	sc := newScorer(q, eng.Sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, eng.newSigmaCache(q))
+	sim := eng.searchSim(q, nil)
+	sc := newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, eng.newSigmaCache(q, sim))
 	return sc.scoreTable(eng.Lake.Table(tid), eng.Lake.ColumnIndex(tid))
 }
 

@@ -1,0 +1,122 @@
+package embedding
+
+// Corruption matrix for HNSW snapshots (docs/RELIABILITY.md): every
+// truncation and every single-byte flip of a valid snapshot must surface
+// as atomicio.ErrCorruptSnapshot — never a panic, an unbounded allocation,
+// or a silently wrong graph. Shape attacks that carry valid checksums
+// (crafted in-package through Write) must trip the plausibility caps.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"thetis/internal/atomicio"
+	"thetis/internal/faultio"
+)
+
+func hnswFixture(t testing.TB) []byte {
+	t.Helper()
+	h := BuildHNSW(randomStore(40, 6, 3), HNSWConfig{M: 4, EfConstruction: 24, EfSearch: 16, Seed: 2})
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorruptHNSWEveryTruncation: a snapshot truncated at any prefix (a
+// crashed writer) must fail with the typed corruption error.
+func TestCorruptHNSWEveryTruncation(t *testing.T) {
+	data := hnswFixture(t)
+	if _, err := LoadHNSW(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		_, err := LoadHNSW(faultio.NewShortReader(bytes.NewReader(data), int64(n)))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(data))
+		}
+		if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+			t.Fatalf("prefix of %d bytes: non-typed error: %v", n, err)
+		}
+	}
+}
+
+// TestCorruptHNSWEveryByteFlip: every byte of the snapshot is covered by a
+// section CRC, the envelope header, or the footer checksum, so any
+// single-byte flip must be detected.
+func TestCorruptHNSWEveryByteFlip(t *testing.T) {
+	data := hnswFixture(t)
+	for i := range data {
+		flipped := append([]byte(nil), data...)
+		flipped[i] ^= 0xFF
+		_, err := LoadHNSW(bytes.NewReader(flipped))
+		if err == nil {
+			t.Fatalf("flip at byte %d/%d accepted", i, len(data))
+		}
+		if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+			t.Fatalf("flip at byte %d: non-typed error: %v", i, err)
+		}
+	}
+}
+
+// TestCorruptHNSWShapeAttacks: implausible shapes sealed behind valid
+// checksums (a hostile or badly buggy writer) must trip the plausibility
+// caps before any shape-driven allocation.
+func TestCorruptHNSWShapeAttacks(t *testing.T) {
+	write := func(h *HNSW) []byte {
+		var buf bytes.Buffer
+		if err := h.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := func() *HNSW {
+		return BuildHNSW(randomStore(8, 4, 1), HNSWConfig{M: 3, EfConstruction: 12, EfSearch: 8, Seed: 1})
+	}
+	cases := []struct {
+		name string
+		hack func(h *HNSW)
+		want string
+	}{
+		{"huge-M", func(h *HNSW) { h.cfg.M = 1 << 21 }, "implausible HNSW parameters"},
+		{"zero-efsearch", func(h *HNSW) { h.cfg.EfSearch = 0 }, "implausible HNSW parameters"},
+		{"huge-maxlevel", func(h *HNSW) { h.maxLevel = maxHNSWLevel + 1 }, "implausible HNSW max level"},
+		{"entry-out-of-range", func(h *HNSW) { h.entry = int32(len(h.ids)) + 3 }, "entry point"},
+		{"neighbor-out-of-range", func(h *HNSW) { h.links[0][0][0] = uint32(len(h.ids)) }, "bad neighbor"},
+		{"self-loop", func(h *HNSW) { h.links[2][0][0] = 2 }, "bad neighbor"},
+		{"level-above-max", func(h *HNSW) {
+			h.levels[1] = h.maxLevel + 1
+			h.links[1] = make([][]uint32, h.levels[1]+1)
+		}, "level"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := base()
+			tc.hack(h)
+			_, err := LoadHNSW(bytes.NewReader(write(h)))
+			if err == nil {
+				t.Fatal("shape attack accepted")
+			}
+			if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+				t.Fatalf("non-typed error: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultHNSWReadError: a device error mid-read surfaces instead of
+// hanging or being misreported as success.
+func TestFaultHNSWReadError(t *testing.T) {
+	data := hnswFixture(t)
+	for _, off := range []int64{0, 5, 17, 40, int64(len(data)) / 2, int64(len(data)) - 3} {
+		if _, err := LoadHNSW(faultio.NewFailingReader(bytes.NewReader(data), off, nil)); err == nil {
+			t.Fatalf("device error at byte %d ignored", off)
+		}
+	}
+}

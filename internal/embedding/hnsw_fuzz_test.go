@@ -1,0 +1,51 @@
+package embedding
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"thetis/internal/atomicio"
+)
+
+// FuzzLoadHNSW: the graph deserializer must never panic or allocate
+// unboundedly on arbitrary bytes; every rejection is the typed
+// ErrCorruptSnapshot, and anything it accepts must survive a write/reload
+// round trip. Seeds live in testdata/fuzz/FuzzLoadHNSW.
+func FuzzLoadHNSW(f *testing.F) {
+	h := BuildHNSW(randomStore(12, 4, 9), HNSWConfig{M: 3, EfConstruction: 12, EfSearch: 8, Seed: 7})
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4]) // footer checksum torn off
+	f.Add(valid[:9])            // mid-header
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := LoadHNSW(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, atomicio.ErrCorruptSnapshot) {
+				t.Fatalf("non-typed load error: %v", err)
+			}
+			return
+		}
+		// Accepted input: searching and re-serializing must both work.
+		if g.Len() > 0 {
+			probe := make(Vector, g.Dim())
+			probe[0] = 1
+			_ = g.TopK(probe, 3)
+		}
+		var out bytes.Buffer
+		if err := g.Write(&out); err != nil {
+			t.Fatalf("accepted graph failed to re-serialize: %v", err)
+		}
+		if _, err := LoadHNSW(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-serialized graph rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package embedding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"thetis/internal/atomicio"
+	"thetis/internal/kg"
+)
+
+// HNSW persistence: a built graph can be written to disk and reloaded,
+// skipping the insertion pass at startup. The snapshot is framed in the
+// checksummed atomicio envelope (magic + version header, CRC32C-sealed
+// sections, whole-file footer checksum; see docs/RELIABILITY.md). Loading
+// validates every layer: a snapshot with even a single flipped bit fails
+// with atomicio.ErrCorruptSnapshot instead of producing a silently wrong
+// graph, so callers can fall back to a rebuild from the embedding store.
+
+const (
+	hnswMagic   = uint32(0x54484E57) // "THNW"
+	hnswVersion = uint32(1)
+)
+
+// Plausibility caps for deserialized graph shapes. They reject corrupt
+// headers before any allocation sized from them, so a flipped count byte
+// produces a descriptive error instead of an out-of-memory crash.
+const (
+	maxHNSWNodes     = maxStoreEntities
+	maxHNSWParam     = 1 << 20 // M / efConstruction / efSearch bound
+	maxHNSWNeighbors = 1 << 20 // per-node per-layer neighbor list bound
+	hnswAllocHint    = 1 << 20 // cap on count-driven preallocation
+)
+
+// Write serializes the graph: configuration header, node table (entity ID,
+// level, normalized vector), then adjacency lists, each section sealed by
+// its own CRC32C.
+func (h *HNSW) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sw, err := atomicio.NewSnapshotWriter(bw, hnswMagic, hnswVersion)
+	if err != nil {
+		return err
+	}
+	// Header section.
+	cw := atomicio.NewCRCWriter(sw)
+	wU32 := func(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
+	for _, v := range []uint32{
+		uint32(h.cfg.M), uint32(h.cfg.EfConstruction), uint32(h.cfg.EfSearch),
+		uint32(uint64(h.cfg.Seed)), uint32(uint64(h.cfg.Seed) >> 32),
+		uint32(h.dim), uint32(len(h.ids)),
+		uint32(h.entry + 1), // 0 = empty graph
+		uint32(h.maxLevel),
+	} {
+		if err := wU32(v); err != nil {
+			return err
+		}
+	}
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	// Node section: entity ID, top level, vector per node.
+	cw = atomicio.NewCRCWriter(sw)
+	for n := range h.ids {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(h.ids[n])); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint32(h.levels[n])); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, h.vecs[n*h.dim:(n+1)*h.dim]); err != nil {
+			return err
+		}
+	}
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	// Link section: per node, per layer 0..level, count + neighbor ordinals.
+	cw = atomicio.NewCRCWriter(sw)
+	for n := range h.ids {
+		for _, ls := range h.links[n] {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(len(ls))); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, ls); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cw.WriteSum(); err != nil {
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadHNSW reads a snapshot written by Write. Corrupt input of any kind —
+// flipped bytes, truncation, implausible shapes — fails with
+// atomicio.ErrCorruptSnapshot, never a wrong-but-loaded graph.
+func LoadHNSW(r io.Reader) (*HNSW, error) {
+	sr, err := atomicio.NewSnapshotReader(bufio.NewReader(r), hnswMagic)
+	if err != nil {
+		return nil, err
+	}
+	if v := sr.Version(); v != hnswVersion {
+		return nil, atomicio.Corruptf("embedding: unsupported HNSW snapshot version %d (want %d)", v, hnswVersion)
+	}
+	// Header section: decode, checksum, then validate shape before any
+	// count-driven allocation.
+	cr := atomicio.NewCRCReader(sr)
+	fields := make([]uint32, 9)
+	for i := range fields {
+		if err := binary.Read(cr, binary.LittleEndian, &fields[i]); err != nil {
+			return nil, atomicio.Corruptf("embedding: truncated HNSW header: %v", err)
+		}
+	}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
+	}
+	h := &HNSW{
+		cfg: HNSWConfig{
+			M:              int(fields[0]),
+			EfConstruction: int(fields[1]),
+			EfSearch:       int(fields[2]),
+			Seed:           int64(uint64(fields[3]) | uint64(fields[4])<<32),
+		},
+		dim: int(fields[5]),
+	}
+	numNodes := fields[6]
+	entry, maxLevel := fields[7], fields[8]
+	switch {
+	case h.cfg.M < 1 || h.cfg.M > maxHNSWParam,
+		h.cfg.EfConstruction < 1 || h.cfg.EfConstruction > maxHNSWParam,
+		h.cfg.EfSearch < 1 || h.cfg.EfSearch > maxHNSWParam:
+		return nil, atomicio.Corruptf("embedding: implausible HNSW parameters M=%d efC=%d efS=%d",
+			h.cfg.M, h.cfg.EfConstruction, h.cfg.EfSearch)
+	case h.dim < 1 || h.dim > maxStoreDim:
+		return nil, atomicio.Corruptf("embedding: implausible HNSW dimension %d", h.dim)
+	case numNodes > maxHNSWNodes || uint64(numNodes)*uint64(h.dim) > maxStoreFloats:
+		return nil, atomicio.Corruptf("embedding: implausible HNSW shape: %d nodes × %d dims", numNodes, h.dim)
+	case entry > numNodes:
+		return nil, atomicio.Corruptf("embedding: HNSW entry point %d out of range %d", entry, numNodes)
+	case numNodes > 0 && entry == 0:
+		return nil, atomicio.Corruptf("embedding: HNSW snapshot has %d nodes but no entry point", numNodes)
+	case maxLevel > maxHNSWLevel:
+		return nil, atomicio.Corruptf("embedding: implausible HNSW max level %d", maxLevel)
+	}
+	h.entry = int32(entry) - 1
+	h.maxLevel = int32(maxLevel)
+
+	// Node section.
+	cr = atomicio.NewCRCReader(sr)
+	hint := min(int(numNodes), hnswAllocHint)
+	h.ids = make([]kg.EntityID, 0, hint)
+	h.levels = make([]int32, 0, hint)
+	h.vecs = make([]float32, 0, hint*h.dim)
+	buf := make([]float32, h.dim)
+	for n := uint32(0); n < numNodes; n++ {
+		var id, level uint32
+		if err := binary.Read(cr, binary.LittleEndian, &id); err != nil {
+			return nil, atomicio.Corruptf("embedding: HNSW node %d: truncated: %v", n, err)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &level); err != nil {
+			return nil, atomicio.Corruptf("embedding: HNSW node %d: truncated: %v", n, err)
+		}
+		if id >= maxStoreEntities {
+			return nil, atomicio.Corruptf("embedding: HNSW node %d: implausible entity %d", n, id)
+		}
+		if level > maxLevel {
+			return nil, atomicio.Corruptf("embedding: HNSW node %d: level %d above max %d", n, level, maxLevel)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, buf); err != nil {
+			return nil, atomicio.Corruptf("embedding: HNSW node %d: truncated vector: %v", n, err)
+		}
+		h.ids = append(h.ids, kg.EntityID(id))
+		h.levels = append(h.levels, int32(level))
+		h.vecs = append(h.vecs, buf...)
+	}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
+	}
+
+	// Link section.
+	cr = atomicio.NewCRCReader(sr)
+	h.links = make([][][]uint32, 0, hint)
+	for n := uint32(0); n < numNodes; n++ {
+		layers := make([][]uint32, h.levels[n]+1)
+		for l := range layers {
+			var cnt uint32
+			if err := binary.Read(cr, binary.LittleEndian, &cnt); err != nil {
+				return nil, atomicio.Corruptf("embedding: HNSW node %d layer %d: truncated links: %v", n, l, err)
+			}
+			if cnt > maxHNSWNeighbors {
+				return nil, atomicio.Corruptf("embedding: HNSW node %d layer %d: implausible neighbor count %d", n, l, cnt)
+			}
+			ls := make([]uint32, 0, min(int(cnt), hnswAllocHint))
+			for i := uint32(0); i < cnt; i++ {
+				var m uint32
+				if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
+					return nil, atomicio.Corruptf("embedding: HNSW node %d layer %d: truncated links: %v", n, l, err)
+				}
+				if m >= numNodes || m == n {
+					return nil, atomicio.Corruptf("embedding: HNSW node %d layer %d: bad neighbor %d", n, l, m)
+				}
+				ls = append(ls, m)
+			}
+			layers[l] = ls
+		}
+		h.links = append(h.links, layers)
+	}
+	if err := cr.VerifySum(); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -1,0 +1,212 @@
+package embedding
+
+// Property battery for HNSW graph invariants (ISSUE 8, docs/ANN.md):
+// randomized seeded insert sequences must always yield a graph with
+// symmetric links, monotone layer stacks, a connected layer 0, and exact
+// recall once the beam covers the whole store. A failing sequence is
+// ddmin-shrunk to a minimal reproducer, the same style as the live-lake
+// battery in live_test.go.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+// hnswOp is one insert: an entity whose vector is derived deterministically
+// from (seed, entity), so an op list stays self-contained under shrinking.
+type hnswOp struct {
+	entity kg.EntityID
+}
+
+func opVector(seed int64, e kg.EntityID, dim int) Vector {
+	rng := rand.New(rand.NewSource(seed ^ int64(e)*0x9e3779b9))
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	Normalize(v)
+	return v
+}
+
+// buildFromOps replays an insert sequence through the same insertion path
+// BuildHNSW uses, with levels drawn from the op ordinal like a real build.
+func buildFromOps(ops []hnswOp, cfg HNSWConfig, vecSeed int64, dim int) *HNSW {
+	h := &HNSW{cfg: cfg, dim: dim, entry: -1}
+	rng := levelRNG{state: uint64(cfg.Seed)}
+	mL := 1 / math.Log(float64(cfg.M)) // mirror BuildHNSW's level scale
+	for _, op := range ops {
+		h.insert(op.entity, opVector(vecSeed, op.entity, dim), rng.level(mL))
+	}
+	return h
+}
+
+// checkHNSWInvariants validates the four battery invariants, returning a
+// descriptive error for the first violation.
+func checkHNSWInvariants(h *HNSW) error {
+	// Level monotonicity: one adjacency list per layer 0..level, and every
+	// edge stays within both endpoints' layer stacks.
+	for n := range h.ids {
+		if got, want := len(h.links[n]), int(h.levels[n])+1; got != want {
+			return fmt.Errorf("node %d: %d layer lists for level %d", n, got, h.levels[n])
+		}
+		for l, ls := range h.links[n] {
+			seen := map[uint32]bool{}
+			for _, m := range ls {
+				if m == uint32(n) {
+					return fmt.Errorf("node %d layer %d: self loop", n, l)
+				}
+				if seen[m] {
+					return fmt.Errorf("node %d layer %d: duplicate edge to %d", n, l, m)
+				}
+				seen[m] = true
+				if int32(l) > h.levels[m] {
+					return fmt.Errorf("node %d layer %d: neighbor %d only reaches level %d", n, l, m, h.levels[m])
+				}
+			}
+		}
+	}
+	// Bidirectional links: m ∈ links[n][l] ⇔ n ∈ links[m][l].
+	for n := range h.ids {
+		for l, ls := range h.links[n] {
+			for _, m := range ls {
+				if !containsNode(h.links[m][l], uint32(n)) {
+					return fmt.Errorf("asymmetric edge: %d→%d at layer %d has no reverse", n, m, l)
+				}
+			}
+		}
+	}
+	// Layer-0 connectivity: BFS from the entry point reaches every node.
+	if len(h.ids) > 0 {
+		if h.entry < 0 {
+			return fmt.Errorf("non-empty graph without entry point")
+		}
+		seen := make([]bool, len(h.ids))
+		queue := []uint32{uint32(h.entry)}
+		seen[h.entry] = true
+		reached := 0
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			reached++
+			for _, m := range h.links[n][0] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		if reached != len(h.ids) {
+			return fmt.Errorf("layer 0 disconnected: reached %d of %d nodes", reached, len(h.ids))
+		}
+	}
+	return nil
+}
+
+func containsNode(ls []uint32, n uint32) bool {
+	for _, m := range ls {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExactRecall verifies TopKEf with ef ≥ graph size matches brute
+// force over the same vectors for a handful of probes.
+func checkExactRecall(h *HNSW, ops []hnswOp, vecSeed int64, dim int) error {
+	norm := NewStore(maxEntitySlot(ops)+1, dim)
+	for _, op := range ops {
+		norm.Set(op.entity, opVector(vecSeed, op.entity, dim))
+	}
+	for i := 0; i < len(ops); i += 1 + len(ops)/8 {
+		v := opVector(vecSeed, ops[i].entity, dim)
+		exact := BruteForceTopK(norm, v, 5)
+		got := h.TopKEf(v, 5, h.Len())
+		if !reflect.DeepEqual(exact, got) {
+			return fmt.Errorf("probe %d (entity %d): ef=N result %v != exact %v", i, ops[i].entity, got, exact)
+		}
+	}
+	return nil
+}
+
+func maxEntitySlot(ops []hnswOp) int {
+	max := 0
+	for _, op := range ops {
+		if int(op.entity) > max {
+			max = int(op.entity)
+		}
+	}
+	return max
+}
+
+// shrinkHNSWOps minimizes a failing insert sequence by chunk-halving
+// deletion, bounded to 48 trials (ddmin, same shape as shrinkLiveOps).
+func shrinkHNSWOps(check func([]hnswOp) error, ops []hnswOp) []hnswOp {
+	trials := 0
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(ops) && trials < 48; {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			cand := make([]hnswOp, 0, len(ops)-(end-start))
+			cand = append(cand, ops[:start]...)
+			cand = append(cand, ops[end:]...)
+			trials++
+			if check(cand) != nil {
+				ops = cand // still fails without the chunk: keep it out
+			} else {
+				start = end
+			}
+		}
+	}
+	return ops
+}
+
+func TestHNSWGraphInvariants(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		n, dim  int
+		cfg     HNSWConfig
+		vecSeed int64
+	}{
+		{"m4-small", 60, 8, HNSWConfig{M: 4, EfConstruction: 30, EfSearch: 16, Seed: 1}, 101},
+		{"m6-mid", 200, 12, HNSWConfig{M: 6, EfConstruction: 60, EfSearch: 32, Seed: 2}, 202},
+		{"m8-shuffled", 350, 16, HNSWConfig{M: 8, EfConstruction: 80, EfSearch: 32, Seed: 3}, 303},
+		{"m3-tight", 120, 6, HNSWConfig{M: 3, EfConstruction: 24, EfSearch: 12, Seed: 4}, 404},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			// Sparse entity IDs in shuffled insertion order: gaps and
+			// non-monotone arrivals are both part of the property space.
+			rng := rand.New(rand.NewSource(sc.vecSeed))
+			ops := make([]hnswOp, sc.n)
+			for i := range ops {
+				ops[i] = hnswOp{entity: kg.EntityID(i*2 + rng.Intn(2))}
+			}
+			rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+			check := func(ops []hnswOp) error {
+				h := buildFromOps(ops, sc.cfg, sc.vecSeed, sc.dim)
+				if err := checkHNSWInvariants(h); err != nil {
+					return err
+				}
+				if len(ops) == 0 {
+					return nil
+				}
+				return checkExactRecall(h, ops, sc.vecSeed, sc.dim)
+			}
+			if err := check(ops); err != nil {
+				min := shrinkHNSWOps(check, ops)
+				t.Fatalf("graph invariant broken: %v\nminimal sequence (%d of %d inserts): %v",
+					check(min), len(min), len(ops), min)
+			}
+		})
+	}
+}

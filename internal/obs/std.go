@@ -350,3 +350,37 @@ func HTTPInFlight(r *Registry) *Gauge {
 	return r.Gauge("thetis_http_inflight",
 		"Search-type requests currently executing.", nil)
 }
+
+// AnnQueriesTotal counts searches scored in top-k σ mode (an ANN
+// neighborhood was resolved and used; see docs/ANN.md).
+func AnnQueriesTotal() *Counter {
+	return Default.Counter("thetis_ann_queries_total",
+		"Searches scored with ANN top-k sigma neighborhoods.", nil)
+}
+
+// AnnFallbacksTotal counts searches that wanted top-k σ but served exact σ
+// instead — the graph was rebuilding after an epoch bump, or no usable
+// index/similarity was available. Degraded mode, not an error.
+func AnnFallbacksTotal() *Counter {
+	return Default.Counter("thetis_ann_fallbacks_total",
+		"Top-k sigma searches that fell back to exact sigma (graph rebuilding or unavailable).", nil)
+}
+
+// AnnGraphNodes gauges the entity count of the currently installed HNSW
+// graph.
+func AnnGraphNodes(r *Registry) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_ann_graph_nodes",
+		"Entities indexed by the installed ANN graph.", nil)
+}
+
+// AnnBuildSeconds gauges the wall time of the most recent ANN graph build.
+func AnnBuildSeconds(r *Registry) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	return r.Gauge("thetis_ann_build_seconds",
+		"Wall time of the most recent ANN graph build.", nil)
+}

@@ -13,6 +13,7 @@
 //	POST /hybrid            BM25-complemented semantic search
 //	GET  /metrics           Prometheus text-format metrics
 //	GET  /debug/trace       per-stage breakdown of one search (?query=…&k=…)
+//	GET  /debug/ann         ANN top-k σ serving state (docs/ANN.md)
 //	GET  /debug/ingest      quarantine summary of the corpus load (WithIngestReport)
 //	GET  /debug/pprof/*     runtime profiles (opt-in via WithPprof)
 //
@@ -68,6 +69,14 @@ type Backend interface {
 	AddTableJSON(data []byte) (thetis.TableID, error)
 	RemoveTable(id thetis.TableID) error
 	IndexEpoch() uint64
+}
+
+// AnnBackend is the optional ANN-serving surface (docs/ANN.md). Backends
+// that support top-k σ — System and ShardedSystem both do — get a
+// GET /debug/ann endpoint reporting graph size, build epoch, and whether
+// searches are currently served approximately or in exact-σ fallback.
+type AnnBackend interface {
+	AnnStatus() thetis.AnnStatus
 }
 
 // Server is an http.Handler serving one Thetis backend. The underlying
@@ -168,6 +177,11 @@ func New(sys Backend, opts ...Option) *Server {
 	s.handle("POST", "/keyword", s.guard("/keyword", s.handleKeyword))
 	s.handle("POST", "/hybrid", s.guard("/hybrid", s.handleHybrid))
 	s.handle("GET", "/debug/trace", s.guard("/debug/trace", s.handleTrace))
+	if ab, ok := s.sys.(AnnBackend); ok {
+		s.handle("GET", "/debug/ann", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, ab.AnnStatus())
+		})
+	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if s.pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)

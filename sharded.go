@@ -133,6 +133,13 @@ type ShardedSystem struct {
 	maintMu     sync.Mutex
 	filterState *core.TypeFilterState
 	epoch       atomic.Uint64
+
+	// ann mirrors System's top-k σ state: one shared graph for the whole
+	// deployment (the embedding store is a graph property, identical on
+	// every shard). See ann.go / docs/ANN.md.
+	ann            atomic.Pointer[annState]
+	annBuilding    atomic.Bool
+	annTopK, annEf int
 }
 
 // NewShardedSystem creates an empty sharded lake over graph g, placing

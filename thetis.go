@@ -190,6 +190,13 @@ type System struct {
 
 	keyword *bm25.Index
 
+	// ann holds the HNSW graph backing top-k σ mode and the epoch it was
+	// built at (nil when the mode is off); annBuilding single-flights the
+	// background rebuild after an epoch bump. See ann.go / docs/ANN.md.
+	ann            atomic.Pointer[annState]
+	annBuilding    atomic.Bool
+	annTopK, annEf int
+
 	// mu is the serving lock: searches (and other corpus reads) hold RLock
 	// for their full duration, mutations hold Lock while they patch the
 	// lake, LSEI, filter, and keyword index together.
@@ -335,6 +342,7 @@ func (s *System) Refresh() {
 	if rebuildKeyword {
 		s.BuildKeywordIndex()
 	}
+	s.reenableAnnLocked()
 }
 
 // LinkTable annotates a table's cells with l before ingestion.
