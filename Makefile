@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck anncheck
+.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck anncheck httpshardcheck
 
 all: check
 
@@ -42,6 +42,15 @@ shardcheck:
 livecheck:
 	$(GO) test -race -run '^TestLive' .
 
+# Shard-over-HTTP battery under the race detector (docs/SHARDING.md
+# §"Shard-over-HTTP"): remote scatter-gather must rank bit-identically to
+# in-process sharding and the unsharded system — clean and under every
+# injected fault class (refusal, 500s, corruption, stalls, slow-loris) —
+# plus the retry/hedge/failover/breaker unit tests and the /shard/*
+# endpoint handlers.
+httpshardcheck:
+	$(GO) test -race -run '^Test(HTTPShard|RemoteShard|ReadOnly)' ./internal/server ./internal/remote
+
 # ANN serving battery under the race detector (docs/ANN.md): HNSW graph
 # invariants, off-mode bit-identity, parallelism/shard determinism, epoch
 # fallback + rebuild, and the recall/NDCG thresholds of the differential
@@ -49,7 +58,7 @@ livecheck:
 anncheck:
 	$(GO) test -race -run '^Test(ANN|HNSW)' . ./internal/embedding ./internal/experiments
 
-check: fmt vet build race linkcheck shardcheck livecheck anncheck
+check: fmt vet build race linkcheck shardcheck livecheck anncheck httpshardcheck
 
 # Replays every fuzz target's seed corpus (f.Add seeds + testdata/fuzz/)
 # as a fast regression suite. Live exploration happens in CI and via

@@ -5,6 +5,7 @@
 //	        [-sim types|embeddings] [-embfile embeddings.bin] \
 //	        [-ann-topk K] [-ann-ef N] \
 //	        [-shards 1] [-shard-by hash|size] \
+//	        [-shard-urls http://a:8081|http://a2:8081,http://b:8082] [-probe-every 3s] \
 //	        [-lsh] [-votes 3] [-vectors 30] [-band 10] [-indexfile index.bin] \
 //	        [-lenient-ingest] [-ingest-budget N] [-max-line BYTES] \
 //	        [-delta-log deltas.log] [-compact-every 10m] \
@@ -16,6 +17,16 @@
 // shard's LSEI builds and hot-swaps independently (per-shard states on
 // /readyz and thetis_shard_* metrics). -indexfile requires -shards 1:
 // snapshots cover one unsharded index.
+//
+// Shard-over-HTTP (docs/SHARDING.md §"Shard-over-HTTP"): -shard-urls turns
+// the daemon into a scatter-gather coordinator over remote shard daemons
+// (plain unsharded thetisd instances each serving its hash-assigned slice
+// of the corpus). The coordinator loads the full corpus locally for query
+// parsing, keyword search, and the global-artifact bootstrap it ships to
+// every shard, but answers /search by scattering over HTTP with retries,
+// hedging, replica failover, and per-replica circuit breakers
+// (thetis_remote_shard_* metrics; per-replica breakdown on /readyz). The
+// deployment is read-only: POST/DELETE /tables answer 405.
 //
 // Approximate σ (docs/ANN.md): with -sim embeddings, -ann-topk K scores
 // each query entity against only its K nearest store entities (found
@@ -82,6 +93,8 @@ func main() {
 	annEf := flag.Int("ann-ef", 64, "HNSW search beam width for -ann-topk (higher = better recall, slower)")
 	shards := flag.Int("shards", 1, "in-process shard count for scatter-gather serving (1 = unsharded)")
 	shardBy := flag.String("shard-by", "hash", "partitioning strategy for -shards > 1: hash | size")
+	shardURLs := flag.String("shard-urls", "", "serve as a scatter-gather coordinator over remote shard daemons: shards comma-separated, replicas of one shard |-separated (requires -shard-by hash)")
+	probeEvery := flag.Duration("probe-every", 3*time.Second, "remote-replica health probe interval for -shard-urls (0 disables probing)")
 	useLSH := flag.Bool("lsh", true, "enable LSH prefiltering")
 	votes := flag.Int("votes", 3, "LSH vote threshold")
 	vectors := flag.Int("vectors", 30, "LSH permutations/projections")
@@ -98,48 +111,25 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	// Validate flag-derived index parameters up front: a bad -vectors/-band
-	// combination is a usage error, not a mid-flight panic.
+	// Validate the whole flag combination up front (see flags.go for the
+	// incompatibility matrix): a bad -vectors/-band pair or an unsupported
+	// flag mix is a usage error, not a mid-flight panic.
 	cfg := thetis.DefaultIndexConfig()
 	cfg.Vectors = *vectors
 	cfg.BandSize = *band
-	if err := cfg.Validate(); err != nil {
+	if err := validateFlags(flagConfig{
+		Sim:       *sim,
+		Shards:    *shards,
+		ShardBy:   *shardBy,
+		ShardURLs: *shardURLs,
+		Votes:     *votes,
+		Index:     cfg,
+		IndexFile: *indexFile,
+		DeltaLog:  *deltaLog,
+		AnnTopK:   *annTopK,
+		AnnEf:     *annEf,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: %v\n", err)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *votes < 1 {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -votes must be >= 1 (got %d)\n", *votes)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *shards < 1 {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -shards must be >= 1 (got %d)\n", *shards)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *shardBy != "hash" && *shardBy != "size" {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -shard-by must be hash or size (got %q)\n", *shardBy)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *shards > 1 && *indexFile != "" {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -indexfile requires -shards 1 (snapshots cover one unsharded index)\n")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *shards > 1 && *deltaLog != "" {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -delta-log requires -shards 1 (the log replays into one unsharded system)\n")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *annTopK < 0 || (*annTopK > 0 && *sim != "embeddings") {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -ann-topk needs a positive K and -sim embeddings\n")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *annTopK > 0 && *annEf < 1 {
-		fmt.Fprintf(os.Stderr, "thetisd: invalid flags: -ann-ef must be >= 1 (got %d)\n", *annEf)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -204,7 +194,28 @@ func main() {
 		server.WithMaxInFlight(*maxInflight),
 		server.WithIngestReport(report),
 	}
-	if *useLSH && sharded != nil {
+	var backend server.Backend = sys
+	var shardGroups [][]string
+	stopProbes := func() {}
+	if *shardURLs != "" {
+		// Coordinator mode (docs/SHARDING.md §"Shard-over-HTTP"): the full
+		// corpus just loaded stays local for parsing/keyword/stats, semantic
+		// search scatters to the remote daemons. No local LSEI — the shards
+		// build theirs from the bootstrapped index spec.
+		groups, err := parseShardURLs(*shardURLs)
+		if err != nil {
+			log.Fatal(err) // unreachable: validateFlags already parsed it
+		}
+		shardGroups = groups
+		var hedge float64
+		if *timeout > 0 {
+			hedge = 0.95
+		}
+		rsys, stop := startCoordinator(single, groups, cfg, *useLSH, *votes, *probeEvery, hedge)
+		backend = rsys
+		stopProbes = stop
+		opts = append(opts, server.WithRemoteShardStatus(rsys.ShardStatuses))
+	} else if *useLSH && sharded != nil {
 		// Sharded: every shard's index builds in the background and
 		// hot-swaps independently; /readyz reports the per-shard lifecycle.
 		rds := server.NewShardReadinesses(nil, sharded.NumShards())
@@ -246,7 +257,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *compactEvery > 0 {
+	if *compactEvery > 0 && *shardURLs == "" {
 		go func() {
 			tick := time.NewTicker(*compactEvery)
 			defer tick.Stop()
@@ -264,14 +275,20 @@ func main() {
 			}
 		}()
 	}
-	if sharded != nil {
+	switch {
+	case *shardURLs != "":
+		log.Printf("coordinating %d tables across %d remote shards on %s (metrics on /metrics, timeout %v, max in-flight %d)",
+			sys.NumTables(), len(shardGroups), *addr, *timeout, *maxInflight)
+	case sharded != nil:
 		log.Printf("serving %d tables across %d shards (%s-partitioned) on %s (metrics on /metrics, timeout %v, max in-flight %d)",
 			sys.NumTables(), sharded.NumShards(), *shardBy, *addr, *timeout, *maxInflight)
-	} else {
+	default:
 		log.Printf("serving %d tables on %s (metrics on /metrics, timeout %v, max in-flight %d)",
 			sys.NumTables(), *addr, *timeout, *maxInflight)
 	}
-	if err := server.Run(ctx, *addr, server.New(sys, opts...), *drain); err != nil {
+	err := server.Run(ctx, *addr, server.New(backend, opts...), *drain)
+	stopProbes()
+	if err != nil {
 		log.Fatal(err)
 	}
 	if *deltaLog != "" {
@@ -281,6 +298,48 @@ func main() {
 		single.CloseDeltaLog()
 	}
 	log.Println("drained in-flight queries, shut down cleanly")
+}
+
+// startCoordinator assembles the remote-sharded backend (thetisd
+// -shard-urls): one RemoteShard client per replica group, global table IDs
+// assigned by replaying the hash partitioner over the local corpus, then a
+// blocking bootstrap that ships the global artifacts (IDF informativeness,
+// frequent-type filter, index spec, votes) to every replica. Bootstrap
+// failure is fatal — serving un-bootstrapped shards would return rankings
+// that differ from the unsharded system.
+func startCoordinator(local *thetis.System, groups [][]string, cfg thetis.IndexConfig, useLSH bool, votes int, probeEvery time.Duration, hedgePct float64) (*thetis.RemoteSharded, func()) {
+	part := thetis.NewHashPartitioner(len(groups))
+	globals := local.ShardGlobalIDs(part)
+	shards := make([]*thetis.RemoteShard, len(groups))
+	for i, urls := range groups {
+		replicas := make([]thetis.RemoteReplica, len(urls))
+		for j, u := range urls {
+			replicas[j] = thetis.RemoteReplica{URL: u}
+		}
+		sh, err := thetis.NewRemoteShard(fmt.Sprintf("%d", i), local.Graph(), globals[i], replicas, thetis.RemoteOptions{
+			HedgePercentile: hedgePct,
+		})
+		if err != nil {
+			log.Fatalf("shard %d: %v", i, err)
+		}
+		shards[i] = sh
+	}
+	rsys := thetis.NewRemoteSharded(local, shards...)
+	if useLSH {
+		rsys.SetIndexConfig(cfg)
+	}
+	rsys.SetVotes(votes)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	log.Printf("bootstrapping %d remote shards (global artifacts + index spec)…", len(shards))
+	if err := rsys.Bootstrap(ctx); err != nil {
+		log.Fatalf("bootstrap: %v (start the shard daemons, then restart the coordinator)", err)
+	}
+	stop := func() {}
+	if probeEvery > 0 {
+		stop = rsys.StartProbes(probeEvery)
+	}
+	return rsys, stop
 }
 
 // logActivation reports the index lifecycle outcome without blocking

@@ -1,0 +1,417 @@
+package thetis
+
+// Shard-over-HTTP (docs/SHARDING.md §"Shard-over-HTTP"): the pieces that
+// turn the in-process scatter-gather seam into a distributed deployment.
+//
+// Topology: N shard daemons each run an ordinary unsharded thetisd over
+// their slice of the corpus; one coordinator daemon (thetisd -shard-urls)
+// loads the FULL corpus locally — for query parsing, BM25 keyword search,
+// table lookups, and artifact computation — but scatters every semantic
+// search to the shard daemons through remote.Shard clients (one per
+// shard, N replicas each) and merges with the same Coordinator the
+// in-process path uses.
+//
+// This file is the root-package glue: the daemon-side handlers a System
+// needs to serve as a remote shard (ServeShardSearch,
+// ApplyShardArtifacts), the coordinator-side artifact computation and
+// global ID mapping, and the RemoteSharded facade that plugs into the
+// HTTP layer as a server.Backend.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"thetis/internal/core"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/remote"
+)
+
+// Remote shard-over-HTTP seams, re-exported from internal/remote.
+type (
+	// RemoteShard is the HTTP shard client: a Shard whose SearchShard
+	// proxies to a remote unsharded thetisd with retries, hedging,
+	// replica failover, and circuit breaking.
+	RemoteShard = remote.Shard
+	// RemoteReplica is one interchangeable daemon serving a shard.
+	RemoteReplica = remote.Replica
+	// RemoteOptions tunes the remote client's robustness layer.
+	RemoteOptions = remote.Options
+	// RemoteStatus is one shard's per-replica breaker breakdown.
+	RemoteStatus = remote.Status
+	// ShardArtifacts is the global-artifact bootstrap payload
+	// (POST /shard/artifacts).
+	ShardArtifacts = remote.Artifacts
+)
+
+// NewRemoteShard builds the HTTP client for one shard; see remote.NewShard.
+func NewRemoteShard(label string, g *Graph, globals []TableID, replicas []RemoteReplica, opt RemoteOptions) (*RemoteShard, error) {
+	return remote.NewShard(label, g, globals, replicas, opt)
+}
+
+// ErrReadOnly reports a mutation against a read-only deployment — a
+// coordinator over remote shards cannot ingest or remove tables, because
+// the authoritative corpus lives on the shard daemons.
+var ErrReadOnly = errors.New("thetis: deployment is read-only (mutate the shard daemons and re-bootstrap)")
+
+// ServeShardSearch answers one POST /shard/search leg: it resolves the
+// wire query's entity URIs against this daemon's graph (interning unknown
+// ones, so tuple arity — which the assignment normalization depends on —
+// survives even for entities this daemon has never seen), runs the same
+// SearchShard an in-process scatter leg runs (FallbackNone; the
+// coordinator owns the full-scan decision), and returns the ranking in
+// LOCAL table IDs for the client to translate.
+func (s *System) ServeShardSearch(ctx context.Context, req remote.SearchRequest) remote.SearchPayload {
+	q := s.resolveWireQuery(req.Tuples)
+	results, stats := s.SearchShard(ctx, q, req.K, ShardSearchOptions{ForceFullScan: req.ForceFullScan})
+	wr := make([]remote.WireResult, len(results))
+	for i, r := range results {
+		wr[i] = remote.WireResult{Table: int32(r.Table), Score: r.Score}
+	}
+	return remote.SearchPayload{
+		Results: wr,
+		Stats: remote.WireStats{
+			Candidates:   stats.Candidates,
+			Scored:       stats.Scored,
+			MappingMicro: stats.MappingTime.Microseconds(),
+			TotalMicro:   stats.TotalTime.Microseconds(),
+			Truncated:    stats.Truncated,
+			Panicked:     stats.Panicked,
+			SigmaHits:    stats.SigmaHits,
+			SigmaMisses:  stats.SigmaMisses,
+		},
+	}
+}
+
+// resolveWireQuery maps entity URIs to this process's entity IDs. The
+// fast path runs under the read lock; only a query mentioning a URI this
+// graph has never interned takes the write path (mirroring AddTableJSON's
+// interning), so concurrent searches are not serialized.
+func (s *System) resolveWireQuery(tuples [][]string) Query {
+	s.mu.RLock()
+	q := make(Query, len(tuples))
+	missing := false
+	for i, uris := range tuples {
+		tup := make(Tuple, len(uris))
+		for j, uri := range uris {
+			e, ok := s.graph.Lookup(uri)
+			if !ok {
+				missing = true
+			}
+			tup[j] = e
+		}
+		q[i] = tup
+	}
+	s.mu.RUnlock()
+	if !missing {
+		return q
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, uris := range tuples {
+		for j, uri := range uris {
+			q[i][j] = s.graph.AddEntity(uri, "")
+		}
+	}
+	return q
+}
+
+// ApplyShardArtifacts installs the coordinator's global-artifact bootstrap
+// (POST /shard/artifacts) on this daemon: corpus-global IDF
+// informativeness weights replace the local-lake default, the vote
+// threshold is adopted, and — when an index spec is shipped — the LSEI is
+// built under the GLOBAL frequent-type filter instead of a locally
+// computed one. After this call the daemon's SearchShard legs rank
+// bit-identically to the corresponding in-process shard
+// (docs/SHARDING.md).
+//
+// The shipped weights and filter are frozen snapshots of the
+// coordinator's corpus: mutating this daemon's corpus afterwards keeps
+// serving correct local rankings but breaks the deployment-wide
+// bit-identity until the coordinator re-bootstraps.
+func (s *System) ApplyShardArtifacts(a remote.Artifacts) error {
+	if s.engine == nil {
+		return errors.New("thetis: select a similarity before ApplyShardArtifacts")
+	}
+	var cfg IndexConfig
+	if a.Index != nil {
+		cfg = IndexConfig{
+			Vectors:               a.Index.Vectors,
+			BandSize:              a.Index.BandSize,
+			FrequentTypeThreshold: a.Index.Threshold,
+			ColumnAggregation:     a.Index.ColumnAggregation,
+			Seed:                  a.Index.Seed,
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("thetis: shard artifacts index spec: %w", err)
+		}
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+
+	s.mu.Lock()
+	weights := make(map[EntityID]float64, len(a.Informativeness))
+	for uri, w := range a.Informativeness {
+		weights[s.graph.AddEntity(uri, "")] = w
+	}
+	var filter map[kg.TypeID]bool
+	if a.HasFilter {
+		filter = make(map[kg.TypeID]bool, len(a.FrequentTypes))
+		for _, uri := range a.FrequentTypes {
+			// A type this graph has not interned cannot appear in any local
+			// entity's type set, so skipping it never changes a signature.
+			if t, ok := s.graph.LookupType(uri); ok {
+				filter[t] = true
+			}
+		}
+	}
+	// Absent entities weigh 1, exactly like df == 0 under the IDF formula.
+	s.engine.Inf = func(e EntityID) float64 {
+		if w, ok := weights[e]; ok {
+			return w
+		}
+		return 1
+	}
+	if a.Votes > 0 {
+		s.votes.Store(int32(a.Votes))
+	}
+	s.mu.Unlock()
+
+	if a.Index == nil {
+		return nil
+	}
+	s.indexCfg = cfg
+	if s.ec != nil && s.engine.Sim == Similarity(s.ec) {
+		s.filterState = nil
+		s.index.Store(core.BuildEmbeddingLSEI(s.lake, s.ec, s.store.Dim(), cfg))
+		return nil
+	}
+	if filter == nil {
+		// No filter shipped for a type index: freeze an empty one rather
+		// than computing a local filter that would diverge across shards.
+		filter = map[kg.TypeID]bool{}
+	}
+	// The filter stays a frozen global snapshot — no TypeFilterState, so
+	// later local mutations extend signatures under it without re-balancing
+	// (re-balancing against one shard's sub-corpus would diverge from the
+	// other shards anyway; see the method comment).
+	s.filterState = nil
+	s.index.Store(core.BuildTypeLSEIFiltered(s.lake, s.tj, cfg, filter))
+	return nil
+}
+
+// ComputeShardArtifacts computes the bootstrap payload from this System's
+// FULL corpus: IDF informativeness for every corpus entity (keyed by URI
+// so shard daemons can resolve them in their own intern order), the
+// frequent-type filter for type-similarity indexes, the vote threshold,
+// and — when cfg is non-nil — the index spec every shard must build with.
+// A nil cfg means the shard daemons serve unindexed (full-scan) legs.
+func (s *System) ComputeShardArtifacts(cfg *IndexConfig, votes int) ShardArtifacts {
+	s.mustEngine()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	inf := core.IDFInformativenessOver([]*lake.Lake{s.lake})
+	weights := make(map[string]float64)
+	for _, e := range s.lake.DistinctEntities() {
+		weights[s.graph.URI(e)] = inf(e)
+	}
+	a := ShardArtifacts{Informativeness: weights, Votes: votes}
+	if cfg == nil {
+		return a
+	}
+	c := *cfg
+	a.Index = &remote.IndexSpec{
+		Vectors:           c.Vectors,
+		BandSize:          c.BandSize,
+		Threshold:         thresholdOf(c),
+		ColumnAggregation: c.ColumnAggregation,
+		Seed:              c.Seed,
+	}
+	if s.ec != nil && s.engine.Sim == Similarity(s.ec) {
+		return a // embedding LSEIs have no type filter
+	}
+	filter := core.FrequentTypesOver([]*lake.Lake{s.lake}, s.tj, thresholdOf(c))
+	uris := make([]string, 0, len(filter))
+	for t, dropped := range filter {
+		if dropped {
+			uris = append(uris, s.graph.TypeURI(t))
+		}
+	}
+	sort.Strings(uris)
+	a.FrequentTypes = uris
+	a.HasFilter = true
+	return a
+}
+
+// ShardGlobalIDs replays a partitioner over the corpus in global ID
+// (= ingestion) order and returns, per shard, the global IDs of the
+// tables that shard owns — the local→global translation map a RemoteShard
+// needs. Placement is reproducible only for stateless partitioners (hash;
+// thetisd -shard-urls therefore requires -shard-by hash): a fresh
+// balanced partitioner replaying a corpus with removals would not see the
+// load the original saw.
+func (s *System) ShardGlobalIDs(part Partitioner) [][]TableID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]TableID, part.Shards())
+	for id, t := range s.lake.Tables() {
+		if t == nil {
+			continue
+		}
+		si := part.Assign(t)
+		out[si] = append(out[si], TableID(id))
+	}
+	return out
+}
+
+// RemoteSharded is the coordinator daemon's backend (thetisd -shard-urls):
+// System's serving surface with semantic search scattered to remote
+// shards. The local System holds the full corpus read-only — it answers
+// ParseQuery, keyword/hybrid's BM25 half, /stats, and /tables/{id} — while
+// SearchStatsContext fans out through the remote clients and merges with
+// the standard Coordinator, so truncation, rescatter, and partial-failure
+// semantics are exactly the in-process ones. Mutations return ErrReadOnly.
+type RemoteSharded struct {
+	local  *System
+	shards []*RemoteShard
+	coord  *Coordinator
+
+	indexCfg *IndexConfig
+	votes    int
+}
+
+// NewRemoteSharded assembles the coordinator backend over a bootstrapped
+// local System (full corpus, similarity selected, keyword index built if
+// hybrid is served) and one RemoteShard client per shard.
+func NewRemoteSharded(local *System, shards ...*RemoteShard) *RemoteSharded {
+	searchers := make([]Shard, len(shards))
+	for i, sh := range shards {
+		searchers[i] = sh
+	}
+	return &RemoteSharded{
+		local:  local,
+		shards: shards,
+		coord:  NewCoordinator(searchers...),
+		votes:  1,
+	}
+}
+
+// SetIndexConfig fixes the LSEI configuration Bootstrap ships to the
+// shard daemons. Without it, shards serve unindexed full-scan legs.
+func (rs *RemoteSharded) SetIndexConfig(cfg IndexConfig) { c := cfg; rs.indexCfg = &c }
+
+// SetVotes fixes the vote threshold Bootstrap ships (default 1).
+func (rs *RemoteSharded) SetVotes(v int) { rs.votes = v }
+
+// Bootstrap computes the global artifacts from the local corpus and ships
+// them to every replica of every shard. It must succeed before serving:
+// an un-bootstrapped shard daemon ranks with local weights and filter,
+// which is correct for its own corpus but not bit-identical to the
+// deployment.
+func (rs *RemoteSharded) Bootstrap(ctx context.Context) error {
+	a := rs.local.ComputeShardArtifacts(rs.indexCfg, rs.votes)
+	var errs []string
+	for _, sh := range rs.shards {
+		if err := sh.PushArtifacts(ctx, a); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("thetis: bootstrap: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// NumShards returns how many shards the coordinator fans out to.
+func (rs *RemoteSharded) NumShards() int { return len(rs.shards) }
+
+// ShardStatuses snapshots every shard's per-replica breaker state (the
+// /readyz breakdown).
+func (rs *RemoteSharded) ShardStatuses() []RemoteStatus {
+	out := make([]RemoteStatus, len(rs.shards))
+	for i, sh := range rs.shards {
+		out[i] = sh.Status()
+	}
+	return out
+}
+
+// StartProbes starts every shard's background health probing; call the
+// returned stop on shutdown.
+func (rs *RemoteSharded) StartProbes(interval time.Duration) (stop func()) {
+	stops := make([]func(), len(rs.shards))
+	for i, sh := range rs.shards {
+		stops[i] = sh.StartProbes(interval)
+	}
+	return func() {
+		for _, st := range stops {
+			st()
+		}
+	}
+}
+
+// ParseQuery resolves a textual query against the local full-corpus graph.
+func (rs *RemoteSharded) ParseQuery(text string) (Query, error) { return rs.local.ParseQuery(text) }
+
+// SearchStatsContext scatters the query to every remote shard and merges
+// (Coordinator.Search): per-shard counters sum, Truncated ORs, remote
+// legs' trace stages arrive labeled per shard, and failed legs surface in
+// Stats.ShardErrors.
+func (rs *RemoteSharded) SearchStatsContext(ctx context.Context, q Query, k int) ([]Result, SearchStats) {
+	return rs.coord.Search(ctx, q, k)
+}
+
+// KeywordSearch runs BM25 over the local full-corpus index (keyword
+// search is global — IDF depends on corpus-wide document frequencies).
+func (rs *RemoteSharded) KeywordSearch(text string, k int) []TableID {
+	return rs.local.KeywordSearch(text, k)
+}
+
+// HybridSearchContext complements the local BM25 ranking with the
+// scattered semantic ranking (System.HybridSearchContext, with the
+// semantic half remote).
+func (rs *RemoteSharded) HybridSearchContext(ctx context.Context, q Query, keywords string, k int) []TableID {
+	sem, _ := rs.coord.Search(ctx, q, k)
+	semIDs := make([]int, len(sem))
+	for i, r := range sem {
+		semIDs[i] = int(r.Table)
+	}
+	bmIDs := rs.local.KeywordSearch(keywords, k)
+	bmInts := make([]int, len(bmIDs))
+	for i, id := range bmIDs {
+		bmInts[i] = int(id)
+	}
+	merged := core.Complement(semIDs, bmInts, k)
+	out := make([]TableID, len(merged))
+	for i, id := range merged {
+		out[i] = TableID(id)
+	}
+	return out
+}
+
+// Stats returns the local full corpus's statistics.
+func (rs *RemoteSharded) Stats() lake.Stats { return rs.local.Stats() }
+
+// GraphCounts returns the local KG's size counters.
+func (rs *RemoteSharded) GraphCounts() GraphCounts { return rs.local.GraphCounts() }
+
+// NumTables returns the full corpus's live table count.
+func (rs *RemoteSharded) NumTables() int { return rs.local.NumTables() }
+
+// Table returns a table by its global ID from the local corpus copy.
+func (rs *RemoteSharded) Table(id TableID) *Table { return rs.local.Table(id) }
+
+// AddTableJSON is not supported: the deployment is read-only.
+func (rs *RemoteSharded) AddTableJSON(data []byte) (TableID, error) { return 0, ErrReadOnly }
+
+// RemoveTable is not supported: the deployment is read-only.
+func (rs *RemoteSharded) RemoveTable(id TableID) error { return ErrReadOnly }
+
+// IndexEpoch returns the local corpus's mutation epoch (always the load
+// epoch — the deployment is read-only).
+func (rs *RemoteSharded) IndexEpoch() uint64 { return rs.local.IndexEpoch() }

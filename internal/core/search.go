@@ -138,6 +138,14 @@ type Stats struct {
 	// not report its memoization). Their sum is the total number of σ
 	// lookups the scoring stage issued through the cache.
 	SigmaHits, SigmaMisses int64
+	// ShardErrors explains, in human-readable form, why shard legs of a
+	// scatter-gather search contributed nothing: a contained panic, a
+	// remote shard whose every replica/retry failed, and so on. Empty on
+	// unsharded searches and on sharded searches where every leg
+	// answered. A non-empty value always travels with Truncated=true —
+	// the results are still a correctly ranked prefix, never an error —
+	// and distinguishes "nothing matched" from "shards were unreachable".
+	ShardErrors []string
 	// Trace is the structured per-stage breakdown of this search
 	// (mapping → score → rank, with prefilter probe/vote stages prepended
 	// by System.SearchStats when an LSEI is active). Always non-nil on

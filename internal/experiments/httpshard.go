@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"thetis/internal/core"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/remote"
+	"thetis/internal/shard"
+)
+
+// HTTPShardRow is one shard count of the shard-over-HTTP sweep.
+type HTTPShardRow struct {
+	Shards int
+	// InProc and InProcP50 are per-query latencies through the in-process
+	// Coordinator; Remote and RemoteP50 go through remote.Shard clients to
+	// loopback HTTP daemons speaking the sealed wire protocol.
+	InProc    time.Duration
+	InProcP50 time.Duration
+	Remote    time.Duration
+	RemoteP50 time.Duration
+	// Overhead is the relative cost of crossing HTTP vs staying in-process
+	// (mean remote / mean in-process - 1).
+	Overhead float64
+	// PerLeg is the absolute added wall time per query divided by the shard
+	// count — the loopback cost of one scatter leg (serialize, seal, HTTP
+	// round trip, verify, decode).
+	PerLeg time.Duration
+	// Identical reports whether every query's remote ranking — IDs and
+	// scores — matched the in-process coordinator bit for bit.
+	Identical bool
+}
+
+// HTTPShardResult measures the shard-over-HTTP seam (docs/SHARDING.md
+// §"Shard-over-HTTP") against in-process scatter-gather on the same
+// corpus and partitioning: both paths run the same Coordinator merge over
+// the same per-shard engines, so the delta isolates the transport —
+// URI serialization, the CRC32C envelope both ways, the HTTP round trip,
+// and the client's deadline/retry bookkeeping — with no faults injected.
+type HTTPShardResult struct {
+	Queries int
+	Rows    []HTTPShardRow
+}
+
+// loopbackDaemon serves one shard's slice over the sealed wire protocol,
+// exactly as a remote thetisd would: verify the envelope, resolve URIs
+// against its own graph, search the local slice, seal local-ID results.
+func loopbackDaemon(g *kg.Graph, sh *shard.Local) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req remote.SearchRequest
+		if err := remote.Open(body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q := make(core.Query, 0, len(req.Tuples))
+		for _, uris := range req.Tuples {
+			tuple := make(core.Tuple, 0, len(uris))
+			for _, uri := range uris {
+				if e, ok := g.Lookup(uri); ok {
+					tuple = append(tuple, e)
+				}
+			}
+			q = append(q, tuple)
+		}
+		res, stats := sh.SearchShard(r.Context(), q, req.K, shard.SearchOptions{ForceFullScan: req.ForceFullScan})
+		p := remote.SearchPayload{Results: make([]remote.WireResult, len(res))}
+		for i, rr := range res {
+			p.Results[i] = remote.WireResult{Table: int32(rr.Table), Score: rr.Score}
+		}
+		p.Stats = remote.WireStats{
+			Candidates: stats.Candidates, Scored: stats.Scored,
+			MappingMicro: stats.MappingTime.Microseconds(),
+			TotalMicro:   stats.TotalTime.Microseconds(),
+			Truncated:    stats.Truncated, Panicked: stats.Panicked,
+		}
+		sealed, err := remote.Seal(p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(sealed)
+	})
+}
+
+// buildHTTPShardedDeployment wires the remote twin of
+// buildShardedDeployment: the same hash partitioning and globally
+// configured per-shard engines, but each shard ingests with DENSE LOCAL
+// IDs behind a loopback HTTP daemon, and the Coordinator scatters through
+// remote.Shard clients that translate local IDs back to global ones.
+// close tears the daemons down.
+func buildHTTPShardedDeployment(env *Env, n int, cfg core.LSEIConfig, votes int) (coord *shard.Coordinator, close func()) {
+	part := lake.NewHashPartitioner(n)
+	locals := make([]*shard.Local, n)
+	globals := make([][]lake.TableID, n)
+	for i := range locals {
+		locals[i] = shard.NewLocal(i, env.KG.Graph)
+	}
+	for id := 0; id < env.Lake.NumTables(); id++ {
+		t := env.Lake.Table(lake.TableID(id))
+		si := part.Assign(t)
+		locals[si].Add(t, lake.TableID(len(globals[si]))) // dense local ID
+		globals[si] = append(globals[si], lake.TableID(id))
+	}
+	lakes := make([]*lake.Lake, n)
+	for i, sh := range locals {
+		lakes[i] = sh.Lake()
+	}
+	inf := core.IDFInformativenessOver(lakes)
+	filter := core.FrequentTypesOver(lakes, env.TJ, 0.5)
+	searchers := make([]shard.Searcher, n)
+	servers := make([]*httptest.Server, n)
+	for i, sh := range locals {
+		e := core.NewEngine(sh.Lake(), env.TJ)
+		e.Inf = inf
+		sh.SetEngine(e)
+		sh.SetVotes(votes)
+		sh.SetIndex(core.BuildTypeLSEIFiltered(sh.Lake(), env.TJ, cfg, filter))
+		servers[i] = httptest.NewServer(loopbackDaemon(env.KG.Graph, sh))
+		rs, err := remote.NewShard(fmt.Sprintf("exp-http-%d-%d", n, i), env.KG.Graph,
+			globals[i], []remote.Replica{{URL: servers[i].URL}}, remote.Options{})
+		if err != nil {
+			panic(err) // unreachable: one replica is always given
+		}
+		searchers[i] = rs
+	}
+	return shard.NewCoordinator(searchers...), func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+// RunHTTPShard benchmarks the shard-over-HTTP transport against in-process
+// scatter-gather with type-Jaccard σ and LSH (30,10) prefiltering,
+// votes=3, top-10, over the combined 1- and 5-tuple query sets.
+func RunHTTPShard(env *Env) HTTPShardResult {
+	const (
+		votes = 3
+		topK  = 10
+		reps  = 3
+	)
+	cfg := core.LSEIConfig{Vectors: 30, BandSize: 10, Seed: 1}
+	queries := make([]core.Query, 0, len(env.Queries1)+len(env.Queries5))
+	for _, bq := range env.Queries1 {
+		queries = append(queries, bq.Query)
+	}
+	for _, bq := range env.Queries5 {
+		queries = append(queries, bq.Query)
+	}
+
+	out := HTTPShardResult{Queries: len(queries)}
+	maxShards := env.Config.Shards
+	if maxShards < 1 {
+		maxShards = 4
+	}
+	for _, n := range shardSweep(maxShards) {
+		inproc := buildShardedDeployment(env, n, cfg, votes)
+		httpCoord, closeDaemons := buildHTTPShardedDeployment(env, n, cfg, votes)
+		inprocTimes, remoteTimes, inprocRanks, remoteRanks := pairedSweep(queries, reps, topK,
+			func(q core.Query, k int) []core.Result {
+				res, _ := inproc.Search(context.Background(), q, k)
+				return res
+			},
+			func(q core.Query, k int) []core.Result {
+				res, _ := httpCoord.Search(context.Background(), q, k)
+				return res
+			})
+		closeDaemons()
+		identical := true
+		for i := range remoteRanks {
+			if !sameRanking(remoteRanks[i], inprocRanks[i]) {
+				identical = false
+				break
+			}
+		}
+		inMean, inP50 := meanP50(inprocTimes)
+		rMean, rP50 := meanP50(remoteTimes)
+		out.Rows = append(out.Rows, HTTPShardRow{
+			Shards: n,
+			InProc: inMean, InProcP50: inP50,
+			Remote: rMean, RemoteP50: rP50,
+			Overhead:  float64(rMean-inMean) / float64(inMean),
+			PerLeg:    (rMean - inMean) / time.Duration(n),
+			Identical: identical,
+		})
+	}
+	return out
+}
+
+// Render prints the shard-over-HTTP sweep.
+func (r HTTPShardResult) Render(w io.Writer) {
+	renderHeader(w, "Shard-over-HTTP: loopback transport overhead vs in-process scatter-gather, LSH(30,10) votes=3 top-10")
+	fmt.Fprintf(w, "per-query best of 3 interleaved passes over %d queries; PerLeg = added wall time / shard count\n\n", r.Queries)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Shards\tIn-proc mean\tIn-proc P50\tHTTP mean\tHTTP P50\tOverhead\tPer leg\tIdentical ranking")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%v\t%+.1f%%\t%v\t%v\n",
+			row.Shards,
+			row.InProc.Round(time.Microsecond), row.InProcP50.Round(time.Microsecond),
+			row.Remote.Round(time.Microsecond), row.RemoteP50.Round(time.Microsecond),
+			100*row.Overhead, row.PerLeg.Round(time.Microsecond), row.Identical)
+	}
+	tw.Flush()
+}

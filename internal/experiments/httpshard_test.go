@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHTTPShardExperimentShape runs the shard-over-HTTP sweep on the small
+// environment: every shard count must report a positive latency on both
+// paths and a bit-identical remote ranking (the experiment doubles as a
+// transport-level invariance check — faults are the battery's job).
+func TestHTTPShardExperimentShape(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunHTTPShard(env)
+	if len(res.Rows) != 3 { // shards 1, 2, 4
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.InProc <= 0 || row.Remote <= 0 {
+			t.Errorf("shards=%d: non-positive latency %+v", row.Shards, row)
+		}
+		if !row.Identical {
+			t.Errorf("shards=%d: remote ranking diverged from in-process", row.Shards)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Shard-over-HTTP") {
+		t.Error("render missing header")
+	}
+}

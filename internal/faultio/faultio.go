@@ -1,10 +1,14 @@
 // Package faultio provides fault-injecting io.Reader and io.Writer wrappers
 // for testing the fault-tolerant data plane: streams that fail with a chosen
 // error at byte N, truncate (short-read) at byte N, flip bits at chosen
-// offsets, or stall mid-transfer. The snapshot and loader test suites drive
-// corruption matrices and partial-write scenarios through these wrappers
-// (make faults); the package has no dependencies and is usable from any
-// test.
+// offsets, or stall mid-transfer — plus a fault-injecting http.RoundTripper
+// (FaultTransport) that misbehaves at the network layer: connection
+// refusal, 500s, truncated and bit-flipped responses, mid-body stalls,
+// slow-loris. The snapshot and loader test suites drive corruption matrices
+// and partial-write scenarios through the stream wrappers (make faults);
+// the shard-over-HTTP battery drives every remote-leg fault class through
+// FaultTransport (make httpshardcheck). The package depends only on the
+// standard library and is usable from any test.
 package faultio
 
 import (

@@ -1,0 +1,143 @@
+package faultio
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// faultServer answers every request with a fixed JSON-ish body.
+func faultServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"crc32c":123,"payload":{"results":[1,2,3,4,5,6,7,8]}}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+func TestFaultTransportScript(t *testing.T) {
+	srv := faultServer(t)
+	clean, _, err := get(t, srv.Client(), srv.URL)
+	if err != nil || clean.StatusCode != 200 {
+		t.Fatalf("clean baseline: %v %v", clean, err)
+	}
+	_, want, _ := get(t, srv.Client(), srv.URL)
+
+	ft := NewFaultTransport(srv.Client().Transport, Refuse, Status500, FlipBody, TruncateBody)
+	c := &http.Client{Transport: ft}
+
+	// Request 0: refused outright.
+	if _, _, err := get(t, c, srv.URL); err == nil {
+		t.Fatalf("Refuse: want transport error, got none")
+	}
+	// Request 1: well-formed 500.
+	resp, _, err := get(t, c, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("Status500: got %v %v", resp, err)
+	}
+	// Request 2: body differs from the truth in exactly one bit.
+	_, flipped, err := get(t, c, srv.URL)
+	if err != nil {
+		t.Fatalf("FlipBody: %v", err)
+	}
+	if len(flipped) != len(want) || string(flipped) == string(want) {
+		t.Fatalf("FlipBody: want same-length different body\n got %q\nwant %q", flipped, want)
+	}
+	diff := 0
+	for i := range want {
+		if want[i] != flipped[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("FlipBody: %d bytes differ, want 1", diff)
+	}
+	// Request 3: truncated to half.
+	_, short, err := get(t, c, srv.URL)
+	if err != nil {
+		t.Fatalf("TruncateBody: %v", err)
+	}
+	if len(short) != len(want)/2 {
+		t.Fatalf("TruncateBody: got %d bytes, want %d", len(short), len(want)/2)
+	}
+	// Request 4: past the script — clean again.
+	resp, body, err := get(t, c, srv.URL)
+	if err != nil || resp.StatusCode != 200 || string(body) != string(want) {
+		t.Fatalf("past script: got %v %q %v", resp, body, err)
+	}
+	if got := ft.Requests(); got != 5 {
+		t.Fatalf("Requests() = %d, want 5", got)
+	}
+	if got := ft.Injected(); got != 4 {
+		t.Fatalf("Injected() = %d, want 4", got)
+	}
+}
+
+func TestFaultTransportLoop(t *testing.T) {
+	srv := faultServer(t)
+	ft := NewFaultTransport(srv.Client().Transport, Refuse)
+	ft.Loop = true
+	c := &http.Client{Transport: ft}
+	for i := 0; i < 3; i++ {
+		if _, _, err := get(t, c, srv.URL); err == nil {
+			t.Fatalf("request %d: want refusal, got none", i)
+		}
+	}
+}
+
+func TestFaultTransportStallHonorsContext(t *testing.T) {
+	srv := faultServer(t)
+	for _, fault := range []Fault{StallBody, SlowLoris} {
+		ft := NewFaultTransport(srv.Client().Transport, fault)
+		ft.Delay = 10 * time.Second
+		c := &http.Client{Transport: ft}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+		start := time.Now()
+		resp, err := c.Do(req)
+		if err == nil {
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		if err == nil {
+			t.Fatalf("%v: want deadline error, got clean response", fault)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%v: stall ignored the context (took %v)", fault, elapsed)
+		}
+	}
+}
+
+func TestFaultTransportDrainsRequestBody(t *testing.T) {
+	srv := faultServer(t)
+	ft := NewFaultTransport(srv.Client().Transport, Refuse, Status500)
+	c := &http.Client{Transport: ft}
+	for i := 0; i < 2; i++ {
+		resp, err := c.Post(srv.URL, "application/json", strings.NewReader(`{"k":5}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	// No assertion beyond "does not hang or panic": draining is about
+	// keeping keep-alive connections reusable.
+	if got := ft.Requests(); got != 2 {
+		t.Fatalf("Requests() = %d, want 2", got)
+	}
+}

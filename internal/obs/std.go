@@ -269,6 +269,46 @@ func ShardIndexState(r *Registry, shard string) *Gauge {
 		Labels{"shard": shard})
 }
 
+// RemoteShardRetriesTotal counts retry attempts (attempts beyond the
+// first) issued by the remote-shard HTTP client, by shard.
+func RemoteShardRetriesTotal(shard string) *Counter {
+	return Default.Counter("thetis_remote_shard_retries_total",
+		"Remote shard-leg retry attempts beyond the first, by shard.",
+		Labels{"shard": shard})
+}
+
+// RemoteShardHedgesTotal counts hedged (duplicate, latency-racing)
+// requests fired after the hedge delay elapsed, by shard.
+func RemoteShardHedgesTotal(shard string) *Counter {
+	return Default.Counter("thetis_remote_shard_hedges_total",
+		"Hedged duplicate requests fired against a second replica, by shard.",
+		Labels{"shard": shard})
+}
+
+// RemoteShardFailoversTotal counts attempts that switched to a different
+// replica than the previous attempt used, by shard.
+func RemoteShardFailoversTotal(shard string) *Counter {
+	return Default.Counter("thetis_remote_shard_failovers_total",
+		"Remote shard attempts that failed over to another replica, by shard.",
+		Labels{"shard": shard})
+}
+
+// RemoteShardBreakerOpenTotal counts circuit-breaker trips (closed→open
+// transitions) across a shard's replicas, by shard.
+func RemoteShardBreakerOpenTotal(shard string) *Counter {
+	return Default.Counter("thetis_remote_shard_breaker_open_total",
+		"Replica circuit-breaker trips (closed to open), by shard.",
+		Labels{"shard": shard})
+}
+
+// RemoteShardReplicaUp gauges one replica's availability as seen by the
+// client: 1 when its breaker is closed, 0 when open or half-open.
+func RemoteShardReplicaUp(shard, replica string) *Gauge {
+	return Default.Gauge("thetis_remote_shard_replica_up",
+		"Replica availability: 1 breaker closed, 0 open/half-open.",
+		Labels{"shard": shard, "replica": replica})
+}
+
 // PanicsTotal counts panics recovered into errors, by site ("search" for
 // scoring workers, "shard" for scatter legs, "http" for request handlers).
 func PanicsTotal(r *Registry, site string) *Counter {

@@ -1,0 +1,402 @@
+package remote
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thetis/internal/core"
+	"thetis/internal/kg"
+	"thetis/internal/lake"
+	"thetis/internal/obs"
+	"thetis/internal/shard"
+)
+
+// testGraph interns the handful of entities the wire tests query with.
+func testGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	g.AddEntity("http://x/e0", "e0")
+	g.AddEntity("http://x/e1", "e1")
+	return g
+}
+
+func testQuery(g *kg.Graph) core.Query {
+	e0, _ := g.Lookup("http://x/e0")
+	e1, _ := g.Lookup("http://x/e1")
+	return core.Query{{e0, e1}}
+}
+
+// sealedPayload builds a valid /shard/search response body.
+func sealedPayload(t *testing.T, p SearchPayload) []byte {
+	t.Helper()
+	b, err := Seal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// shardHandler answers /shard/search with the given payload and lets the
+// test script the first n responses as HTTP 500s.
+func shardHandler(t *testing.T, p SearchPayload, fail500 *atomic.Int32) http.HandlerFunc {
+	body := sealedPayload(t, p)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/shard/search" {
+			http.NotFound(w, r)
+			return
+		}
+		if fail500 != nil && fail500.Add(-1) >= 0 {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		w.Write(body)
+	}
+}
+
+func fastOpts(seed int64) Options {
+	return Options{
+		MaxAttempts:    3,
+		AttemptTimeout: time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+		Seed:           seed,
+	}
+}
+
+func TestRemoteShardEnvelopeDetectsCorruption(t *testing.T) {
+	b, err := Seal(SearchRequest{Tuples: [][]string{{"http://x/e0"}}, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt SearchRequest
+	if err := Open(b, &rt); err != nil {
+		t.Fatalf("clean envelope rejected: %v", err)
+	}
+	if rt.K != 5 || len(rt.Tuples) != 1 {
+		t.Fatalf("round trip lost data: %+v", rt)
+	}
+	// Flip one payload bit: the checksum must catch it even though the
+	// JSON may stay well-formed.
+	bad := append([]byte(nil), b...)
+	i := strings.Index(string(bad), "e0")
+	bad[i] ^= 0x01
+	if err := Open(bad, &rt); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted envelope accepted (err = %v)", err)
+	}
+}
+
+func TestRemoteShardBreakerTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(2, time.Second)
+	b.now = func() time.Time { return now }
+	if !b.allow() {
+		t.Fatal("new breaker must admit traffic")
+	}
+	b.fail()
+	if st, fails := b.snapshot(); st != breakerClosed || fails != 1 {
+		t.Fatalf("after 1 failure: %v/%d", st, fails)
+	}
+	b.fail() // threshold reached
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("after threshold failures: %v, want open", st)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic before cooldown")
+	}
+	now = now.Add(time.Second) // cooldown elapses
+	if !b.allow() {
+		t.Fatal("cooled-down breaker must admit one probe")
+	}
+	if st, _ := b.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state after probe admission: %v, want half-open", st)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	b.fail() // probe failed: back to open
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("state after failed probe: %v, want open", st)
+	}
+	now = now.Add(time.Second)
+	b.allow()
+	b.success() // probe succeeded: closed
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state after successful probe: %v, want closed", st)
+	}
+}
+
+func TestRemoteShardRetriesThenSucceeds(t *testing.T) {
+	g := testGraph(t)
+	want := SearchPayload{
+		Results: []WireResult{{Table: 1, Score: 0.9}, {Table: 0, Score: 0.4}},
+		Stats:   WireStats{Candidates: 2, Scored: 2},
+	}
+	var fail atomic.Int32
+	fail.Store(2) // first two attempts answer 500
+	srv := httptest.NewServer(shardHandler(t, want, &fail))
+	defer srv.Close()
+
+	s, err := NewShard("t-retry", g, []lake.TableID{10, 11}, []Replica{{URL: srv.URL}}, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.RemoteShardRetriesTotal("t-retry").Value()
+	results, stats := s.SearchShard(context.Background(), testQuery(g), 2, shard.SearchOptions{})
+	if stats.Truncated {
+		t.Fatalf("leg truncated after successful retry: %+v", stats.ShardErrors)
+	}
+	if len(results) != 2 || results[0].Table != 11 || results[1].Table != 10 {
+		t.Fatalf("global translation wrong: %+v", results)
+	}
+	if results[0].Score != 0.9 {
+		t.Fatalf("score lost: %+v", results[0])
+	}
+	if got := obs.RemoteShardRetriesTotal("t-retry").Value() - before; got != 2 {
+		t.Fatalf("retries counter advanced by %d, want 2", got)
+	}
+}
+
+func TestRemoteShardFailsOverToHealthyReplica(t *testing.T) {
+	g := testGraph(t)
+	want := SearchPayload{Results: []WireResult{{Table: 0, Score: 1}}}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from now on
+	live := httptest.NewServer(shardHandler(t, want, nil))
+	defer live.Close()
+
+	s, err := NewShard("t-failover", g, []lake.TableID{7},
+		[]Replica{{URL: dead.URL}, {URL: live.URL}}, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.RemoteShardFailoversTotal("t-failover").Value()
+	// Run a few searches: whichever replica round-robin tries first, every
+	// search must land on the live one.
+	for i := 0; i < 4; i++ {
+		results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+		if stats.Truncated || len(results) != 1 || results[0].Table != 7 {
+			t.Fatalf("search %d: results %+v stats %+v", i, results, stats)
+		}
+	}
+	if got := obs.RemoteShardFailoversTotal("t-failover").Value(); got == before {
+		t.Fatal("no failover recorded despite a dead replica in rotation")
+	}
+}
+
+func TestRemoteShardAllAttemptsFailDegrades(t *testing.T) {
+	g := testGraph(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	s, err := NewShard("t-dead", g, []lake.TableID{3}, []Replica{{URL: srv.URL}}, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if len(results) != 0 {
+		t.Fatalf("dead shard returned results: %+v", results)
+	}
+	if !stats.Truncated {
+		t.Fatal("dead shard must mark Truncated")
+	}
+	if len(stats.ShardErrors) != 3 {
+		t.Fatalf("want one ShardErrors entry per attempt (3), got %v", stats.ShardErrors)
+	}
+	for i, e := range stats.ShardErrors {
+		if !strings.Contains(e, "http 500") {
+			t.Fatalf("error %d does not carry the cause: %q", i, e)
+		}
+	}
+}
+
+func TestRemoteShardBreakerTripsAndRecovers(t *testing.T) {
+	g := testGraph(t)
+	want := SearchPayload{Results: []WireResult{{Table: 0, Score: 1}}}
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		shardHandler(t, want, nil)(w, r)
+	}))
+	defer srv.Close()
+
+	opt := fastOpts(1)
+	opt.BreakerThreshold = 2
+	opt.BreakerCooldown = 10 * time.Millisecond
+	s, err := NewShard("t-breaker", g, []lake.TableID{5}, []Replica{{URL: srv.URL}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.RemoteShardBreakerOpenTotal("t-breaker").Value()
+	_, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if !stats.Truncated {
+		t.Fatal("failing replica must truncate")
+	}
+	if obs.RemoteShardBreakerOpenTotal("t-breaker").Value() == before {
+		t.Fatal("breaker never tripped")
+	}
+	if s.Healthy() {
+		t.Fatal("shard reports healthy with its only breaker open")
+	}
+	st := s.Status()
+	if len(st.Replicas) != 1 || st.Replicas[0].Breaker == "closed" {
+		t.Fatalf("status must surface the open breaker: %+v", st)
+	}
+
+	// Replica heals; the background probe path re-admits it after cooldown.
+	healthy.Store(true)
+	time.Sleep(15 * time.Millisecond)
+	s.ProbeOnce(context.Background())
+	if !s.Healthy() {
+		t.Fatalf("probe did not close the breaker: %+v", s.Status())
+	}
+	results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if stats.Truncated || len(results) != 1 || results[0].Table != 5 {
+		t.Fatalf("recovered shard still failing: %+v / %+v", results, stats)
+	}
+}
+
+func TestRemoteShardHedgesSlowPrimary(t *testing.T) {
+	g := testGraph(t)
+	want := SearchPayload{Results: []WireResult{{Table: 0, Score: 1}}}
+	body := sealedPayload(t, want)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+			w.Write(body)
+		}
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body)
+	}))
+	defer fast.Close()
+
+	opt := fastOpts(1)
+	opt.HedgeDelay = 5 * time.Millisecond
+	opt.MaxAttempts = 1
+	s, err := NewShard("t-hedge", g, []lake.TableID{9},
+		[]Replica{{URL: slow.URL}, {URL: fast.URL}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.RemoteShardHedgesTotal("t-hedge").Value()
+	// Whichever replica is primary, the race must finish fast: either the
+	// fast replica was primary, or the hedge fired and won.
+	deadline := time.Now().Add(time.Second)
+	hedged := false
+	for time.Now().Before(deadline) && !hedged {
+		results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+		if stats.Truncated || len(results) != 1 {
+			t.Fatalf("hedged search failed: %+v / %+v", results, stats)
+		}
+		hedged = obs.RemoteShardHedgesTotal("t-hedge").Value() > before
+	}
+	if !hedged {
+		t.Fatal("hedge never fired against a 2s-slow primary with a 5ms hedge delay")
+	}
+}
+
+func TestRemoteShardRejectsForeignTableIDs(t *testing.T) {
+	g := testGraph(t)
+	// The daemon answers with local table 40, but this shard only owns 2
+	// tables: merging would index out of the global map.
+	srv := httptest.NewServer(shardHandler(t, SearchPayload{
+		Results: []WireResult{{Table: 40, Score: 1}},
+	}, nil))
+	defer srv.Close()
+	opt := fastOpts(1)
+	opt.MaxAttempts = 1
+	s, err := NewShard("t-foreign", g, []lake.TableID{0, 1}, []Replica{{URL: srv.URL}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if len(results) != 0 || !stats.Truncated {
+		t.Fatalf("foreign table ID merged: %+v / %+v", results, stats)
+	}
+	if len(stats.ShardErrors) == 0 || !strings.Contains(stats.ShardErrors[0], "outside shard") {
+		t.Fatalf("cause not surfaced: %v", stats.ShardErrors)
+	}
+}
+
+func TestRemoteShardAttemptTimeoutCarvesBudget(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewShard("t-budget", g, nil, []Replica{{URL: "http://127.0.0.1:0"}}, Options{AttemptTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No deadline: the configured attempt timeout applies.
+	if d := s.attemptTimeout(context.Background(), 3); d != time.Second {
+		t.Fatalf("no-deadline attempt timeout %v, want 1s", d)
+	}
+	// 30ms budget across 3 attempts: ~10ms each, never the full second.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if d := s.attemptTimeout(ctx, 3); d > 11*time.Millisecond || d < time.Millisecond {
+		t.Fatalf("carved attempt timeout %v, want ~10ms", d)
+	}
+}
+
+func TestRemoteShardLatencyPercentile(t *testing.T) {
+	var l latencies
+	if _, ok := l.percentile(0.95); ok {
+		t.Fatal("percentile available before sampleMin observations")
+	}
+	for i := 1; i <= 20; i++ {
+		l.add(time.Duration(i) * time.Millisecond)
+	}
+	p, ok := l.percentile(0.5)
+	if !ok {
+		t.Fatal("percentile unavailable after 20 observations")
+	}
+	if p < 5*time.Millisecond || p > 15*time.Millisecond {
+		t.Fatalf("p50 of 1..20ms = %v, want near 10ms", p)
+	}
+}
+
+func TestRemoteShardPushArtifactsRetries(t *testing.T) {
+	g := testGraph(t)
+	var fail atomic.Int32
+	fail.Store(1)
+	var applied atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/shard/artifacts" {
+			http.NotFound(w, r)
+			return
+		}
+		if fail.Add(-1) >= 0 {
+			http.Error(w, "not yet", http.StatusInternalServerError)
+			return
+		}
+		applied.Add(1)
+		w.Write([]byte(`{"applied":true}`))
+	}))
+	defer srv.Close()
+
+	s, err := NewShard("t-push", g, nil, []Replica{{URL: srv.URL}}, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Artifacts{Informativeness: map[string]float64{"http://x/e0": 2.5}, Votes: 3}
+	if err := s.PushArtifacts(context.Background(), a); err != nil {
+		t.Fatalf("push failed despite retry budget: %v", err)
+	}
+	if applied.Load() != 1 {
+		t.Fatalf("artifacts applied %d times, want 1", applied.Load())
+	}
+}

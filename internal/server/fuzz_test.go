@@ -12,6 +12,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"thetis/internal/remote"
 )
 
 func FuzzSearchRequestDecode(f *testing.F) {
@@ -48,6 +50,64 @@ func FuzzSearchRequestDecode(f *testing.F) {
 				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 					t.Fatalf("POST %s %q: 200 body not a SearchResponse: %v", path, body, err)
 				}
+			}
+		}
+	})
+}
+
+// FuzzShardSearchDecode covers the scatter-leg endpoint POST /shard/search
+// (docs/SHARDING.md §"Shard-over-HTTP"): its body is a CRC32C envelope
+// around a remote.SearchRequest, so the decoder has two layers to confuse —
+// the envelope (bad JSON, wrong checksum, truncated payload) and the
+// payload (wrong types, absurd K, unknown URIs). Whatever arrives, the
+// daemon must answer 4xx/200 with valid JSON — a coordinator retries 5xx,
+// so a decode bug that 500s would turn one malformed request into a
+// retry storm.
+func FuzzShardSearchDecode(f *testing.F) {
+	seal := func(v any) string {
+		b, err := remote.Seal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return string(b)
+	}
+	// Well-formed legs: known and unknown entity URIs, forced full scan,
+	// negative and huge K, empty tuples.
+	f.Add(seal(remote.SearchRequest{Tuples: [][]string{{"res/santo", "res/cubs"}}, K: 5}))
+	f.Add(seal(remote.SearchRequest{Tuples: [][]string{{"res/nobody"}}, K: 1, ForceFullScan: true}))
+	f.Add(seal(remote.SearchRequest{Tuples: [][]string{{}}, K: -1}))
+	f.Add(seal(remote.SearchRequest{K: 99999999}))
+	f.Add(seal(remote.SearchRequest{Tuples: [][]string{{"\x00\ufffd"}}, K: 2}))
+	// Envelope-layer garbage: no envelope, wrong checksum, truncated and
+	// type-confused payloads.
+	f.Add(`{"tuples": [["res/santo"]], "k": 3}`) // bare payload, no envelope
+	f.Add(`{"crc32c": 0, "payload": {"k": 1}}`)  // checksum mismatch
+	f.Add(`{"crc32c": 898466679, "payload": "not an object"}`)
+	f.Add(`{"crc32c": "nan", "payload": null}`)
+	f.Add(`not json at all`)
+	f.Add(``)
+	f.Add(seal([]int{1, 2, 3}))              // valid envelope, wrong payload shape
+	f.Add(seal(map[string]any{"k": "five"})) // type confusion inside payload
+
+	srv := New(demoSystem(f))
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/shard/search", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /shard/search %q: status %d (must be 4xx/200, never 5xx):\n%s",
+				body, rec.Code, rec.Body.String())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("POST /shard/search %q: invalid JSON response:\n%s", body, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK {
+			// A 200 must be a verifiable envelope around a SearchPayload —
+			// the client rejects anything else and would retry forever.
+			var p remote.SearchPayload
+			if err := remote.Open(rec.Body.Bytes(), &p); err != nil {
+				t.Fatalf("POST /shard/search %q: 200 body not a sealed SearchPayload: %v", body, err)
 			}
 		}
 	})

@@ -51,6 +51,7 @@ import (
 	"thetis"
 	"thetis/internal/lake"
 	"thetis/internal/obs"
+	"thetis/internal/remote"
 )
 
 // Backend is the serving surface the HTTP layer needs: the query/search/
@@ -93,6 +94,10 @@ type Server struct {
 	ready   *Readiness
 	shardRd []*Readiness
 	ingest  *obs.IngestReport
+
+	// remoteStatus, when set (WithRemoteShardStatus), snapshots the
+	// remote-shard replica breakdown for the coordinator's /readyz.
+	remoteStatus func() []remote.Status
 
 	// testHookRequest, when set, runs inside the lifecycle guard of every
 	// search-type request — after semaphore admission and deadline
@@ -163,7 +168,7 @@ func New(sys Backend, opts ...Option) *Server {
 		opt(s)
 	}
 	s.handle("GET", "/healthz", s.handleHealth)
-	if s.ready != nil || s.shardRd != nil {
+	if s.ready != nil || s.shardRd != nil || s.remoteStatus != nil {
 		s.handle("GET", "/readyz", s.handleReady)
 	}
 	if s.ingest != nil {
@@ -181,6 +186,10 @@ func New(sys Backend, opts ...Option) *Server {
 		s.handle("GET", "/debug/ann", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, ab.AnnStatus())
 		})
+	}
+	if host, ok := s.sys.(RemoteShardHost); ok {
+		s.handle("POST", "/shard/search", s.handleShardSearch(host))
+		s.handle("POST", "/shard/artifacts", s.handleShardArtifacts(host))
 	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if s.pprof {
@@ -355,6 +364,10 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		s.handleReadyShards(w, r)
 		return
 	}
+	if s.remoteStatus != nil {
+		s.handleReadyRemote(w, r)
+		return
+	}
 	state, detail, since := s.ready.Snapshot()
 	status := http.StatusOK
 	if r.URL.Query().Get("full") == "1" && state != StateReady {
@@ -438,7 +451,11 @@ func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.sys.AddTableJSON(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad table: %w", err))
+		if errors.Is(err, thetis.ErrReadOnly) {
+			writeError(w, http.StatusMethodNotAllowed, err)
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad table: %w", err))
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
@@ -456,9 +473,12 @@ func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.RemoveTable(thetis.TableID(id)); err != nil {
-		if errors.Is(err, thetis.ErrNoSuchTable) {
+		switch {
+		case errors.Is(err, thetis.ErrNoSuchTable):
 			writeError(w, http.StatusNotFound, err)
-		} else {
+		case errors.Is(err, thetis.ErrReadOnly):
+			writeError(w, http.StatusMethodNotAllowed, err)
+		default:
 			writeError(w, http.StatusInternalServerError, err)
 		}
 		return

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -107,7 +108,11 @@ func (c *Coordinator) scatter(ctx context.Context, q core.Query, k int, opts Sea
 			defer func() {
 				if r := recover(); r != nil {
 					c.panics.Inc()
-					legs[i] = leg{stats: core.Stats{Truncated: true, Trace: obs.NewTrace("search")}}
+					legs[i] = leg{stats: core.Stats{
+						Truncated:   true,
+						ShardErrors: []string{fmt.Sprintf("panic: %v", r)},
+						Trace:       obs.NewTrace("search"),
+					}}
 				}
 				legs[i].wall = time.Since(legStart)
 				c.legs[i].searches.Inc()
@@ -158,6 +163,9 @@ func (c *Coordinator) gather(start time.Time, k int, first, forced []leg) ([]cor
 		agg.SigmaHits += st.SigmaHits
 		agg.SigmaMisses += st.SigmaMisses
 		agg.Truncated = agg.Truncated || st.Truncated
+		for _, e := range st.ShardErrors {
+			agg.ShardErrors = append(agg.ShardErrors, "shard "+strconv.Itoa(i)+": "+e)
+		}
 		if st.TotalTime > agg.TotalTime {
 			agg.TotalTime = st.TotalTime
 		}

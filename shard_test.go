@@ -8,6 +8,7 @@ package thetis
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 
@@ -257,6 +258,50 @@ type deadShard struct{}
 
 func (deadShard) SearchShard(ctx context.Context, q Query, k int, opts ShardSearchOptions) ([]Result, SearchStats) {
 	panic("shard down")
+}
+
+// erroringShard degrades the way a remote shard does: empty truncated leg
+// with the cause in ShardErrors.
+type erroringShard struct{ msg string }
+
+func (e erroringShard) SearchShard(ctx context.Context, q Query, k int, opts ShardSearchOptions) ([]Result, SearchStats) {
+	return nil, SearchStats{Truncated: true, ShardErrors: []string{e.msg}}
+}
+
+func TestCoordinatorAllLegsFailExplicitEmpty(t *testing.T) {
+	// Every leg fails — one by panicking, one by degrading like a remote
+	// shard whose replicas are all dead. The edge case must compose into
+	// an EXPLICIT empty truncated result (not nil-with-ok stats, not a
+	// panic escaping the coordinator), with per-shard causes in
+	// Stats.ShardErrors so an operator can tell which legs died and why.
+	live := NewCoordinator(deadShard{}, erroringShard{msg: "attempt 1: connection refused"})
+	got, stats := live.Search(context.Background(), Query{}, 10)
+	if len(got) != 0 {
+		t.Fatalf("all-legs-failed search returned results: %v", got)
+	}
+	if !stats.Truncated {
+		t.Fatal("all-legs-failed search must be marked truncated")
+	}
+	if len(stats.ShardErrors) != 2 {
+		t.Fatalf("want one ShardErrors entry per failed leg, got %v", stats.ShardErrors)
+	}
+	var sawPanic, sawRefused bool
+	for _, e := range stats.ShardErrors {
+		if strings.HasPrefix(e, "shard 0:") && strings.Contains(e, "panic: shard down") {
+			sawPanic = true
+		}
+		if strings.HasPrefix(e, "shard 1:") && strings.Contains(e, "connection refused") {
+			sawRefused = true
+		}
+	}
+	if !sawPanic || !sawRefused {
+		t.Fatalf("per-shard causes missing or unlabeled: %v", stats.ShardErrors)
+	}
+	// Determinism: the same dead fleet answers identically every time.
+	again, astats := live.Search(context.Background(), Query{}, 10)
+	if len(again) != 0 || !astats.Truncated || len(astats.ShardErrors) != 2 {
+		t.Fatalf("all-legs-failed result not deterministic: %v / %+v", again, astats.ShardErrors)
+	}
 }
 
 func TestCoordinatorCrossShardTiesStableUnderShardOrder(t *testing.T) {
