@@ -59,9 +59,10 @@ func NewRemoteShard(label string, g *Graph, globals []TableID, replicas []Remote
 var ErrReadOnly = errors.New("thetis: deployment is read-only (mutate the shard daemons and re-bootstrap)")
 
 // ServeShardSearch answers one POST /shard/search leg: it resolves the
-// wire query's entity URIs against this daemon's graph (interning unknown
-// ones, so tuple arity — which the assignment normalization depends on —
-// survives even for entities this daemon has never seen), runs the same
+// wire query's entity URIs against this daemon's graph (mapping unknown
+// ones to request-scoped ephemeral IDs, so tuple arity — which the
+// assignment normalization depends on — survives even for entities this
+// daemon has never seen, without growing the graph), runs the same
 // SearchShard an in-process scatter leg runs (FallbackNone; the
 // coordinator owns the full-scan decision), and returns the ranking in
 // LOCAL table IDs for the client to translate.
@@ -87,37 +88,43 @@ func (s *System) ServeShardSearch(ctx context.Context, req remote.SearchRequest)
 	}
 }
 
-// resolveWireQuery maps entity URIs to this process's entity IDs. The
-// fast path runs under the read lock; only a query mentioning a URI this
-// graph has never interned takes the write path (mirroring AddTableJSON's
-// interning), so concurrent searches are not serialized.
+// resolveWireQuery maps entity URIs to this process's entity IDs, running
+// entirely under the read lock. A URI this graph has never interned
+// resolves to a request-scoped ephemeral ID counting down from the top of
+// the EntityID space: distinct unknown URIs stay distinct (preserving
+// tuple arity and the σ(e,e)=1 diagonal for repeats, exactly like a
+// freshly interned untyped entity would), but nothing is written to the
+// shared graph — a stream of searches with novel URIs must not grow the
+// daemon's graph without bound or serialize the hot search path behind
+// the global write locks. Every similarity guards out-of-range IDs with
+// score 0 and informativeness falls back to weight 1, matching the
+// behavior of an interned entity that carries no types, edges, vectors,
+// or corpus mentions.
 func (s *System) resolveWireQuery(tuples [][]string) Query {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	q := make(Query, len(tuples))
-	missing := false
+	var eph map[string]EntityID
+	next := ^kg.EntityID(0) // far above any realistic intern count
 	for i, uris := range tuples {
 		tup := make(Tuple, len(uris))
 		for j, uri := range uris {
 			e, ok := s.graph.Lookup(uri)
 			if !ok {
-				missing = true
+				if eph == nil {
+					eph = make(map[string]EntityID)
+				}
+				id, seen := eph[uri]
+				if !seen {
+					id = next
+					next--
+					eph[uri] = id
+				}
+				e = id
 			}
 			tup[j] = e
 		}
 		q[i] = tup
-	}
-	s.mu.RUnlock()
-	if !missing {
-		return q
-	}
-	s.maintMu.Lock()
-	defer s.maintMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, uris := range tuples {
-		for j, uri := range uris {
-			q[i][j] = s.graph.AddEntity(uri, "")
-		}
 	}
 	return q
 }

@@ -44,13 +44,23 @@ func NewPredicateJaccard(g *kg.Graph) *PredicateJaccard {
 }
 
 // PredicateSet returns the directional predicate signature of e (owned by
-// the receiver).
-func (pj *PredicateJaccard) PredicateSet(e kg.EntityID) []uint32 { return pj.preds[e] }
+// the receiver). Entities beyond the graph the scorer was built over —
+// added later, or a remote query's ephemeral unknown-entity IDs — have an
+// empty signature, mirroring TypeJaccard.TypeSet.
+func (pj *PredicateJaccard) PredicateSet(e kg.EntityID) []uint32 {
+	if int(e) >= len(pj.preds) {
+		return nil
+	}
+	return pj.preds[e]
+}
 
 // Score implements Similarity.
 func (pj *PredicateJaccard) Score(a, b kg.EntityID) float64 {
 	if a == b {
 		return 1
+	}
+	if int(a) >= len(pj.preds) || int(b) >= len(pj.preds) {
+		return 0
 	}
 	pa, pb := pj.preds[a], pj.preds[b]
 	if len(pa) == 0 || len(pb) == 0 {

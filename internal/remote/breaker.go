@@ -35,6 +35,13 @@ func (s breakerState) String() string {
 // It parks a flapping replica for a cooldown instead of letting every
 // search pay its timeout, then re-admits it through a single half-open
 // probe (either a real search attempt or the background health probe).
+//
+// The half-open probe slot is a lease: acquire hands it out and every
+// admitted probe MUST settle it through exactly one of success, fail, or
+// abandon. Without abandon, a probe whose outcome is discarded (the
+// request was never sent, or was cancelled by a hedge winner) would leave
+// the breaker half-open with the slot consumed forever — the replica
+// blackholed until restart.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -42,6 +49,7 @@ type breaker struct {
 
 	mu       sync.Mutex
 	state    breakerState
+	probing  bool      // half-open probe slot is leased out
 	failures int       // consecutive, in closed state
 	openedAt time.Time // when the breaker last tripped
 	onOpen   func()    // closed/half-open → open transition hook (metrics)
@@ -65,26 +73,36 @@ func (b *breaker) clock() time.Time {
 	return time.Now()
 }
 
-// allow reports whether a request may be sent to this replica right now.
-// In the open state it transitions to half-open once the cooldown has
-// elapsed, admitting exactly one probe.
-func (b *breaker) allow() bool {
+// acquire reports whether a request may be sent to this replica right
+// now. probe is true when the admission consumed the single half-open
+// probe slot (open→half-open transition, or a half-open breaker whose
+// previous probe was abandoned); the caller then owns the slot and must
+// settle it with success, fail, or abandon — never drop it. Callers must
+// therefore only acquire for a request they will actually send.
+func (b *breaker) acquire() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if b.clock().Sub(b.openedAt) >= b.cooldown {
 			b.setState(breakerHalfOpen)
-			return true
+			b.probing = true
+			return true, true
 		}
-		return false
+		return false, false
 	case breakerHalfOpen:
+		if !b.probing {
+			// The previous probe was abandoned without an outcome; lease
+			// the slot to the next caller instead of wedging.
+			b.probing = true
+			return true, true
+		}
 		// One probe is already in flight; hold further traffic.
-		return false
+		return false, false
 	}
-	return false
+	return false, false
 }
 
 // success records a request that completed cleanly.
@@ -92,6 +110,7 @@ func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures = 0
+	b.probing = false
 	if b.state != breakerClosed {
 		b.setState(breakerClosed)
 	}
@@ -116,10 +135,23 @@ func (b *breaker) fail() {
 	}
 }
 
+// abandon releases a half-open probe slot whose request recorded no
+// outcome — it was cancelled by a hedge winner or by the caller giving
+// up. The breaker stays half-open with the slot free, so the next
+// acquire (search attempt or background probe) retries immediately.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // trip moves to open. Callers hold b.mu.
 func (b *breaker) trip() {
 	b.openedAt = b.clock()
 	b.failures = 0
+	b.probing = false
 	b.setState(breakerOpen)
 	if b.onOpen != nil {
 		b.onOpen()

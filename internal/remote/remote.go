@@ -3,6 +3,7 @@ package remote
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -205,7 +206,7 @@ func (s *Shard) SearchShard(ctx context.Context, q core.Query, k int, opts shard
 			errs = append(errs, "context: "+ctx.Err().Error())
 			break
 		}
-		ri := s.pickReplica(last)
+		ri, probe := s.pickReplica(last)
 		if ri < 0 {
 			errs = append(errs, "no replica available (all circuit breakers open)")
 			break
@@ -220,7 +221,7 @@ func (s *Shard) SearchShard(ctx context.Context, q core.Query, k int, opts shard
 		attempts++
 
 		actx, cancel := context.WithTimeout(ctx, s.attemptTimeout(ctx, s.opt.MaxAttempts-attempt+1))
-		payload, aerr := s.tryHedged(actx, ri, body)
+		payload, aerr := s.tryHedged(actx, ri, probe, body)
 		cancel()
 		if aerr == nil {
 			results, stats := s.decode(payload)
@@ -308,41 +309,50 @@ func (s *Shard) sleepBackoff(ctx context.Context, attempt int) {
 
 // pickReplica chooses the next replica whose breaker admits traffic,
 // round-robin, preferring one different from the replica that just failed
-// (failover) when more than one is available.
-func (s *Shard) pickReplica(last int) int {
+// (failover) when more than one is available. probe is true when the
+// admission consumed the replica's half-open probe slot; the caller must
+// then guarantee the request settles it (tryHedged does). acquire is only
+// called on a replica that is actually returned — probing a replica and
+// then skipping it would consume its probe slot with no request to record
+// an outcome, wedging the breaker half-open forever.
+func (s *Shard) pickReplica(last int) (ri int, probe bool) {
 	n := len(s.replicas)
 	start := int(s.rr.Add(1)) % n
-	chosen := -1
-	for i := 0; i < n; i++ {
-		ri := (start + i) % n
-		if !s.replicas[ri].br.allow() {
-			continue
-		}
-		if ri != last {
-			return ri
-		}
-		if chosen < 0 {
-			chosen = ri
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			ri := (start + i) % n
+			// Pass 0 considers only failover candidates (ri != last);
+			// pass 1 falls back to the replica that just failed.
+			if (ri == last) != (pass == 1) {
+				continue
+			}
+			if ok, probe := s.replicas[ri].br.acquire(); ok {
+				return ri, probe
+			}
 		}
 	}
-	return chosen
+	return -1, false
 }
 
 // pickHedge chooses a replica other than primary for a hedged request,
-// without preferring freshness (any admitted replica will do).
-func (s *Shard) pickHedge(primary int) int {
+// without preferring freshness (any admitted replica will do). Like
+// pickReplica it only acquires the replica it returns.
+func (s *Shard) pickHedge(primary int) (ri int, probe bool) {
 	n := len(s.replicas)
 	if n < 2 {
-		return -1
+		return -1, false
 	}
 	start := int(s.rr.Add(1)) % n
 	for i := 0; i < n; i++ {
 		ri := (start + i) % n
-		if ri != primary && s.replicas[ri].br.allow() {
-			return ri
+		if ri == primary {
+			continue
+		}
+		if ok, probe := s.replicas[ri].br.acquire(); ok {
+			return ri, probe
 		}
 	}
-	return -1
+	return -1, false
 }
 
 // hedgeDelay resolves the configured hedging policy to a concrete delay:
@@ -360,31 +370,50 @@ func (s *Shard) hedgeDelay() time.Duration {
 // tryHedged runs one attempt against primary, racing a hedged duplicate
 // on another replica if the hedge delay elapses first. The first success
 // wins and cancels the loser. Breaker bookkeeping happens per completed
-// sub-request: successes close, real failures (not our own cancellation)
-// count against the replica that served them.
-func (s *Shard) tryHedged(ctx context.Context, primary int, body []byte) (*SearchPayload, error) {
+// sub-request and every sub-request settles: successes close; failures —
+// including an attempt that burned its whole per-attempt deadline, the
+// stalled-replica case the breaker exists for — count against the replica
+// that served them; only a loser we cancelled ourselves after a winner
+// (settled), or a request cut short because the caller gave up, records
+// no outcome — and if it held a half-open probe slot, the slot is
+// released (breaker.abandon) rather than leaked.
+func (s *Shard) tryHedged(ctx context.Context, primary int, primaryProbe bool, body []byte) (*SearchPayload, error) {
 	hd := s.hedgeDelay()
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// settled flips before the winner's return cancels the losers, so a
+	// loser can tell our own cancellation from a real failure: deadline
+	// expiry (slow-loris, mid-body stall) arrives as DeadlineExceeded with
+	// settled still false and must trip the breaker.
+	var settled atomic.Bool
 	type outcome struct {
 		p   *SearchPayload
 		err error
 		ri  int
 	}
 	ch := make(chan outcome, 2)
-	launch := func(ri int) {
+	launch := func(ri int, probe bool) {
 		go func() {
 			p, err := s.do(cctx, ri, body)
-			if err == nil {
-				s.replicas[ri].br.success()
-			} else if cctx.Err() == nil {
-				s.replicas[ri].br.fail()
+			br := s.replicas[ri].br
+			switch {
+			case err == nil:
+				br.success()
+			case settled.Load() || errors.Is(err, context.Canceled):
+				// Cancelled — by us after a winner, or by the caller giving
+				// up — so the replica's health is unknown: no outcome, but
+				// a held probe slot must not leak.
+				if probe {
+					br.abandon()
+				}
+			default:
+				br.fail()
 			}
 			ch <- outcome{p, err, ri}
 		}()
 	}
-	launch(primary)
+	launch(primary, primaryProbe)
 
 	var hedgeC <-chan time.Time
 	if hd > 0 && len(s.replicas) > 1 {
@@ -400,6 +429,7 @@ func (s *Shard) tryHedged(ctx context.Context, primary int, body []byte) (*Searc
 		case out := <-ch:
 			inflight--
 			if out.err == nil {
+				settled.Store(true)
 				return out.p, nil
 			}
 			if firstErr == nil {
@@ -410,10 +440,10 @@ func (s *Shard) tryHedged(ctx context.Context, primary int, body []byte) (*Searc
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if ri := s.pickHedge(primary); ri >= 0 {
+			if ri, probe := s.pickHedge(primary); ri >= 0 {
 				s.mHedges.Inc()
 				inflight++
-				launch(ri)
+				launch(ri, probe)
 			}
 		}
 	}
@@ -553,22 +583,27 @@ func (s *Shard) Healthy() bool {
 }
 
 // ProbeOnce health-checks every replica whose breaker is not closed: a
-// GET /readyz that draws any coherent HTTP answer (200 ready, 503
-// degraded-but-serving) counts as alive and feeds the breaker's half-open
-// probe, so a parked replica rejoins without a user request paying for
-// the experiment.
+// GET /readyz answering one of the statuses the endpoint actually emits
+// (200 ready, 503 degraded-but-serving) counts as alive and feeds the
+// breaker's half-open probe, so a parked replica rejoins without a user
+// request paying for the experiment. Half-open replicas whose probe slot
+// is free (a previous probe was abandoned) are probed too — the
+// background prober is the safety net that un-wedges them.
 func (s *Shard) ProbeOnce(ctx context.Context) {
 	for _, r := range s.replicas {
-		state, _ := r.br.snapshot()
-		if state == breakerClosed {
+		if state, _ := r.br.snapshot(); state == breakerClosed {
 			continue
 		}
-		if !r.br.allow() {
-			continue // still cooling down
+		ok, _ := r.br.acquire()
+		if !ok {
+			continue // cooling down, or a probe is already in flight
 		}
 		pctx, cancel := context.WithTimeout(ctx, s.opt.AttemptTimeout)
 		alive := probe(pctx, r)
 		cancel()
+		// Every acquired slot settles here: success or fail, never dropped,
+		// even when ctx died mid-probe (alive is false then, re-opening the
+		// breaker — the next ProbeOnce retries after the cooldown).
 		if alive {
 			r.br.success()
 		} else {
@@ -577,6 +612,11 @@ func (s *Shard) ProbeOnce(ctx context.Context) {
 	}
 }
 
+// probe reports whether r answers /readyz like a thetisd shard daemon.
+// Only the statuses the endpoint emits count — 200 (ready) and 503
+// (degraded ?full=1 form) — so a different service squatting on the port
+// (404, 401, ...) does not close the breaker and re-admit a replica that
+// cannot serve /shard/search.
 func probe(ctx context.Context, r *replica) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
 	if err != nil {
@@ -588,7 +628,7 @@ func probe(ctx context.Context, r *replica) bool {
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
-	return resp.StatusCode < 500 || resp.StatusCode == http.StatusServiceUnavailable
+	return resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable
 }
 
 // StartProbes runs ProbeOnce every interval until the returned stop

@@ -94,8 +94,8 @@ func TestRemoteShardBreakerTransitions(t *testing.T) {
 	now := time.Unix(0, 0)
 	b := newBreaker(2, time.Second)
 	b.now = func() time.Time { return now }
-	if !b.allow() {
-		t.Fatal("new breaker must admit traffic")
+	if ok, probe := b.acquire(); !ok || probe {
+		t.Fatalf("new breaker acquire = (%v, %v), want (true, false)", ok, probe)
 	}
 	b.fail()
 	if st, fails := b.snapshot(); st != breakerClosed || fails != 1 {
@@ -105,17 +105,17 @@ func TestRemoteShardBreakerTransitions(t *testing.T) {
 	if st, _ := b.snapshot(); st != breakerOpen {
 		t.Fatalf("after threshold failures: %v, want open", st)
 	}
-	if b.allow() {
+	if ok, _ := b.acquire(); ok {
 		t.Fatal("open breaker admitted traffic before cooldown")
 	}
 	now = now.Add(time.Second) // cooldown elapses
-	if !b.allow() {
-		t.Fatal("cooled-down breaker must admit one probe")
+	if ok, probe := b.acquire(); !ok || !probe {
+		t.Fatalf("cooled-down acquire = (%v, %v), want (true, true)", ok, probe)
 	}
 	if st, _ := b.snapshot(); st != breakerHalfOpen {
 		t.Fatalf("state after probe admission: %v, want half-open", st)
 	}
-	if b.allow() {
+	if ok, _ := b.acquire(); ok {
 		t.Fatal("half-open breaker admitted a second probe")
 	}
 	b.fail() // probe failed: back to open
@@ -123,10 +123,79 @@ func TestRemoteShardBreakerTransitions(t *testing.T) {
 		t.Fatalf("state after failed probe: %v, want open", st)
 	}
 	now = now.Add(time.Second)
-	b.allow()
+	b.acquire()
 	b.success() // probe succeeded: closed
 	if st, _ := b.snapshot(); st != breakerClosed {
 		t.Fatalf("state after successful probe: %v, want closed", st)
+	}
+}
+
+// TestRemoteShardBreakerAbandonReleasesProbe is the wedge regression: a
+// half-open probe whose outcome is discarded (hedge-winner cancellation,
+// caller gave up) must release the slot so the next acquire re-probes,
+// instead of leaving the breaker half-open-and-rejecting forever.
+func TestRemoteShardBreakerAbandonReleasesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second)
+	b.now = func() time.Time { return now }
+	b.fail() // trips at threshold 1
+	now = now.Add(time.Second)
+	if ok, probe := b.acquire(); !ok || !probe {
+		t.Fatalf("cooled-down acquire = (%v, %v), want (true, true)", ok, probe)
+	}
+	if ok, _ := b.acquire(); ok {
+		t.Fatal("probe slot leased twice")
+	}
+	b.abandon() // outcome discarded
+	if st, _ := b.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state after abandon: %v, want half-open", st)
+	}
+	if ok, probe := b.acquire(); !ok || !probe {
+		t.Fatalf("acquire after abandon = (%v, %v), want (true, true) — breaker wedged", ok, probe)
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state after probe success: %v, want closed", st)
+	}
+	// abandon on a closed breaker is a no-op, not a state change.
+	b.abandon()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatal("abandon disturbed a closed breaker")
+	}
+}
+
+// TestRemoteShardPickReplicaSparesProbeSlots: pickReplica must not consume
+// a cooled-down replica's half-open probe slot while choosing a different
+// replica — the skipped replica would be wedged half-open with no request
+// to record an outcome, invisible to searches and to ProbeOnce alike.
+func TestRemoteShardPickReplicaSparesProbeSlots(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewShard("t-spare", g, nil,
+		[]Replica{{URL: "http://a.invalid"}, {URL: "http://b.invalid"}}, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica 0 tripped and cooled down: its breaker would admit a probe.
+	now := time.Unix(0, 0)
+	s.replicas[0].br.now = func() time.Time { return now }
+	for i := 0; i < s.opt.BreakerThreshold; i++ {
+		s.replicas[0].br.fail()
+	}
+	now = now.Add(s.opt.BreakerCooldown)
+	// Replica 0 is also the one that just failed: every pick must choose
+	// replica 1 and leave replica 0's probe slot un-leased.
+	for i := 0; i < 4; i++ {
+		ri, probe := s.pickReplica(0)
+		if ri != 1 || probe {
+			t.Fatalf("pickReplica(last=0) = (%d, %v), want (1, false)", ri, probe)
+		}
+	}
+	if st, _ := s.replicas[0].br.snapshot(); st != breakerOpen {
+		t.Fatalf("skipped replica's breaker %v, want open (slot untouched)", st)
+	}
+	// The slot is still available to whoever actually sends: half-open.
+	if ok, probe := s.replicas[0].br.acquire(); !ok || !probe {
+		t.Fatalf("skipped replica cannot probe: (%v, %v)", ok, probe)
 	}
 }
 
@@ -266,6 +335,102 @@ func TestRemoteShardBreakerTripsAndRecovers(t *testing.T) {
 	results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
 	if stats.Truncated || len(results) != 1 || results[0].Table != 5 {
 		t.Fatalf("recovered shard still failing: %+v / %+v", results, stats)
+	}
+}
+
+// TestRemoteShardStalledReplicaTripsBreaker covers two review findings at
+// once: an attempt that dies by its per-attempt deadline (mid-body stall,
+// slow-loris) must count as a breaker failure — a consistently stalled
+// replica is exactly what the breaker parks — and a half-open probe that
+// dies the same way must re-open the breaker rather than wedge it
+// half-open forever, which for a single-replica shard would silently kill
+// the whole leg until restart.
+func TestRemoteShardStalledReplicaTripsBreaker(t *testing.T) {
+	g := testGraph(t)
+	want := SearchPayload{Results: []WireResult{{Table: 0, Score: 1}}}
+	body := sealedPayload(t, want)
+	var stalled atomic.Bool
+	stalled.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if stalled.Load() {
+			select { // hold the request until the client's deadline kills it
+			case <-r.Context().Done():
+			case <-time.After(5 * time.Second):
+			}
+			return
+		}
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	opt := fastOpts(1)
+	opt.MaxAttempts = 1
+	opt.AttemptTimeout = 20 * time.Millisecond
+	opt.BreakerThreshold = 1
+	opt.BreakerCooldown = 10 * time.Millisecond
+	s, err := NewShard("t-stall", g, []lake.TableID{5}, []Replica{{URL: srv.URL}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attempt 1 burns its deadline: that MUST be a breaker failure.
+	_, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if !stats.Truncated {
+		t.Fatal("stalled replica did not truncate")
+	}
+	if st, _ := s.replicas[0].br.snapshot(); st != breakerOpen {
+		t.Fatalf("breaker %v after a stalled attempt, want open", st)
+	}
+	// Cooldown elapses; the next search consumes the half-open probe and
+	// stalls again: the breaker must return to open, not wedge half-open.
+	time.Sleep(15 * time.Millisecond)
+	_, stats = s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if !stats.Truncated {
+		t.Fatal("still-stalled replica did not truncate")
+	}
+	if st, _ := s.replicas[0].br.snapshot(); st != breakerOpen {
+		t.Fatalf("breaker %v after a stalled probe, want open (wedged?)", st)
+	}
+	// Replica heals: the background probe path must recover the leg.
+	stalled.Store(false)
+	time.Sleep(15 * time.Millisecond)
+	s.ProbeOnce(context.Background())
+	if !s.Healthy() {
+		t.Fatalf("probe did not recover the healed replica: %+v", s.Status())
+	}
+	results, stats := s.SearchShard(context.Background(), testQuery(g), 1, shard.SearchOptions{})
+	if stats.Truncated || len(results) != 1 || results[0].Table != 5 {
+		t.Fatalf("recovered shard still failing: %+v / %+v", results, stats)
+	}
+}
+
+// TestRemoteShardProbeRejectsForeignService: a /readyz answer outside the
+// statuses the endpoint emits (200, 503) — a 404 from some other service
+// squatting on the replica's port — must not close the breaker and
+// re-admit a replica that cannot actually serve /shard/search.
+func TestRemoteShardProbeRejectsForeignService(t *testing.T) {
+	g := testGraph(t)
+	srv := httptest.NewServer(http.NotFoundHandler()) // 404 to everything
+	defer srv.Close()
+
+	opt := fastOpts(1)
+	opt.BreakerThreshold = 1
+	opt.BreakerCooldown = time.Millisecond
+	s, err := NewShard("t-foreign-probe", g, nil, []Replica{{URL: srv.URL}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.replicas[0].br.fail() // parked
+	time.Sleep(5 * time.Millisecond)
+	s.ProbeOnce(context.Background())
+	if s.Healthy() {
+		t.Fatalf("404-answering replica re-admitted: %+v", s.Status())
+	}
+	if st, _ := s.replicas[0].br.snapshot(); st != breakerOpen {
+		t.Fatalf("breaker %v after foreign-service probe, want open", st)
 	}
 }
 
