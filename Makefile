@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck anncheck httpshardcheck
+.PHONY: all build test race vet fmt check bench benchcheck fuzz faults linkcheck shardcheck livecheck anncheck httpshardcheck throughputcheck
 
 all: check
 
@@ -58,7 +58,14 @@ httpshardcheck:
 anncheck:
 	$(GO) test -race -run '^Test(ANN|HNSW)' . ./internal/embedding ./internal/experiments
 
-check: fmt vet build race linkcheck shardcheck livecheck anncheck httpshardcheck
+# Throughput battery under the race detector (docs/THROUGHPUT.md): batch
+# search must be bit-identical to sequential calls across the scoring
+# matrix (including truncation and mutation races), and the cross-query σ
+# cache must never change a ranking before or after epoch invalidation.
+throughputcheck:
+	$(GO) test -race -run '^Test(Batch|CrossCache)' . ./internal/core ./internal/server
+
+check: fmt vet build race linkcheck shardcheck livecheck anncheck httpshardcheck throughputcheck
 
 # Replays every fuzz target's seed corpus (f.Add seeds + testdata/fuzz/)
 # as a fast regression suite. Live exploration happens in CI and via

@@ -1,4 +1,4 @@
-package thetis
+package thetis_test
 
 import (
 	"thetis/internal/embedding"

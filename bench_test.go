@@ -1,4 +1,4 @@
-package thetis
+package thetis_test
 
 // Benchmark harness: one testing.B benchmark per table/figure of the
 // paper's evaluation (Section 7). Each benchmark regenerates its artifact

@@ -12,6 +12,7 @@
 //	benchrunner -exp table3 -sigmacache=false   # paired σ-cache runs
 //	benchrunner -exp shards -shards 8    # scatter-gather sweep up to 8 shards
 //	benchrunner -exp ann -json BENCH_ann.json   # ANN recall/NDCG differential
+//	benchrunner -exp throughput -concurrency 8 -duration 2s -json BENCH_throughput.json
 package main
 
 import (
@@ -42,6 +43,12 @@ func main() {
 		"largest shard count the scatter-gather experiment sweeps (0 = default, see docs/SHARDING.md)")
 	jsonOut := flag.String("json", "",
 		"write the experiment's machine-readable record to this file (single -exp only)")
+	qps := flag.Float64("qps", 0,
+		"throughput experiment: cap the aggregate request rate (0 = unpaced closed loop, see docs/THROUGHPUT.md)")
+	concurrency := flag.Int("concurrency", 0,
+		"throughput experiment: closed-loop worker count (0 = default 8)")
+	duration := flag.Duration("duration", 0,
+		"throughput experiment: measuring window per cell (0 = default 2s)")
 	flag.Parse()
 
 	core.SetSigmaCacheEnabled(*sigmacache)
@@ -63,6 +70,13 @@ func main() {
 	}
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	cfg.QPS = *qps
+	if *concurrency > 0 {
+		cfg.Concurrency = *concurrency
+	}
+	if *duration > 0 {
+		cfg.LoadWindow = *duration
 	}
 
 	start := time.Now()

@@ -74,3 +74,50 @@ func TestDocLinks(t *testing.T) {
 	}
 	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
 }
+
+// changesEntry matches the two forms a PR entry takes in CHANGES.md: a
+// list entry ("- PR 7 (2026-08-08): ..." or the PR 6 tombstone
+// "- PR 6: no entry ...") and a section heading ("## PR 5 — ...").
+var changesEntry = regexp.MustCompile(`^(?:- |## )PR (\d+)[^\d]`)
+
+// TestChangesLogNumbering keeps CHANGES.md honestly one-entry-per-PR:
+// every PR number from 1 to the maximum recorded must appear exactly
+// once — either as a real entry or as an explicit tombstone (like PR 6's
+// "no entry was recorded" line). A gap means a session forgot to log
+// itself; a duplicate means two entries claim the same PR.
+func TestChangesLogNumbering(t *testing.T) {
+	data, err := os.ReadFile("CHANGES.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int][]string{}
+	max := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		m := changesEntry.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var n int
+		for _, d := range m[1] {
+			n = n*10 + int(d-'0')
+		}
+		seen[n] = append(seen[n], line)
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		t.Fatal("no PR entries found in CHANGES.md — format changed?")
+	}
+	for n := 1; n <= max; n++ {
+		switch len(seen[n]) {
+		case 0:
+			t.Errorf("CHANGES.md: PR %d has no entry and no tombstone (max recorded is PR %d)", n, max)
+		case 1:
+			// exactly one entry — good
+		default:
+			t.Errorf("CHANGES.md: PR %d has %d entries:\n%s", n, len(seen[n]), strings.Join(seen[n], "\n"))
+		}
+	}
+	t.Logf("CHANGES.md: PRs 1..%d each recorded exactly once", max)
+}

@@ -1,0 +1,146 @@
+package core
+
+// CrossCache unit battery (docs/THROUGHPUT.md): tag-checked lookups
+// (epoch bumps and flushes invalidate lazily), bounded memory under the
+// clock sweep, and data-race freedom under concurrent mixed load.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"thetis/internal/kg"
+)
+
+func TestCrossCachePutGetEpochs(t *testing.T) {
+	c := NewCrossCache(1 << 20)
+	c.SetEpoch(7)
+	c.Put(kg.EntityID(1), 2, 0.5)
+	if v, ok := c.Get(kg.EntityID(1), 2); !ok || v != 0.5 {
+		t.Fatalf("Get after Put = (%v, %v), want (0.5, true)", v, ok)
+	}
+	if _, ok := c.Get(kg.EntityID(1), 3); ok {
+		t.Fatal("Get of an absent pair hit")
+	}
+
+	// Epoch bump: the old entry must lazily invalidate, and a re-Put under
+	// the new epoch must hit again.
+	c.SetEpoch(8)
+	if _, ok := c.Get(kg.EntityID(1), 2); ok {
+		t.Fatal("entry from epoch 7 still served after SetEpoch(8)")
+	}
+	c.Put(kg.EntityID(1), 2, 0.25)
+	if v, ok := c.Get(kg.EntityID(1), 2); !ok || v != 0.25 {
+		t.Fatalf("Get after epoch-8 Put = (%v, %v), want (0.25, true)", v, ok)
+	}
+
+	// Flush invalidates without touching the epoch — same-epoch entries
+	// must not resurrect (the σ function may have changed).
+	c.Flush()
+	if _, ok := c.Get(kg.EntityID(1), 2); ok {
+		t.Fatal("entry served after Flush")
+	}
+	if got := c.Epoch(); got != 8 {
+		t.Fatalf("Flush changed the epoch: %d", got)
+	}
+	c.Put(kg.EntityID(1), 2, 0.75)
+	if v, ok := c.Get(kg.EntityID(1), 2); !ok || v != 0.75 {
+		t.Fatalf("Get after post-Flush Put = (%v, %v), want (0.75, true)", v, ok)
+	}
+
+	// In-place overwrite: a Put on an existing key updates the value
+	// without growing the cache.
+	entries := c.Stats().Entries
+	c.Put(kg.EntityID(1), 2, 0.125)
+	if v, _ := c.Get(kg.EntityID(1), 2); v != 0.125 {
+		t.Fatalf("overwrite not visible: %v", v)
+	}
+	if got := c.Stats().Entries; got != entries {
+		t.Fatalf("overwrite grew the cache: %d -> %d entries", entries, got)
+	}
+}
+
+func TestCrossCacheEvictionBounds(t *testing.T) {
+	// Capacity for 4 entries per shard (64 B each, 64 shards).
+	capacity := int64(4 * crossEntryBytes * crossShards)
+	c := NewCrossCache(capacity)
+	c.SetEpoch(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c.Put(kg.EntityID(uint32(i)), uint32(i), float64(i))
+	}
+	st := c.Stats()
+	if st.Entries > 4*crossShards {
+		t.Fatalf("cache holds %d entries, cap is %d", st.Entries, 4*crossShards)
+	}
+	if st.MemoryBytes > st.CapacityBytes {
+		t.Fatalf("MemoryBytes %d exceeds CapacityBytes %d", st.MemoryBytes, st.CapacityBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("%d inserts into a %d-entry cache evicted nothing", n, 4*crossShards)
+	}
+	// The cache must stay functional after heavy eviction.
+	c.Put(kg.EntityID(1), 42, 0.5)
+	if v, ok := c.Get(kg.EntityID(1), 42); !ok || v != 0.5 {
+		t.Fatalf("Get after eviction churn = (%v, %v), want (0.5, true)", v, ok)
+	}
+}
+
+func TestCrossCacheMinimumCapacity(t *testing.T) {
+	// Even an absurdly small budget must yield a working (1-entry-per-
+	// shard) cache rather than a panic or a cache that can never store.
+	c := NewCrossCache(1)
+	c.SetEpoch(1)
+	c.Put(kg.EntityID(9), 9, 0.5)
+	if v, ok := c.Get(kg.EntityID(9), 9); !ok || v != 0.5 {
+		t.Fatalf("minimum-capacity Get = (%v, %v), want (0.5, true)", v, ok)
+	}
+}
+
+func TestCrossCacheStatsCounters(t *testing.T) {
+	c := NewCrossCache(1 << 20)
+	c.SetEpoch(1)
+	c.Put(kg.EntityID(1), 1, 1)
+	c.addCounts(5, 3)
+	st := c.Stats()
+	if st.Hits != 5 || st.Misses != 3 {
+		t.Fatalf("addCounts not reflected: %+v", st)
+	}
+	if want := 5.0 / 8.0; st.HitRate() != want {
+		t.Fatalf("HitRate = %v, want %v", st.HitRate(), want)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("Epoch = %d, want 1", st.Epoch)
+	}
+}
+
+func TestCrossCacheConcurrency(t *testing.T) {
+	// Tiny capacity forces constant eviction while readers race writers
+	// and an epoch bumper invalidates under them; -race is the assertion.
+	c := NewCrossCache(2 * crossEntryBytes * crossShards)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint32((w*31 + i) % 512)
+				if v, ok := c.Get(kg.EntityID(k), k+1); ok && v != float64(k) {
+					// A hit must return the value some Put stored for this
+					// exact key — values are keyed deterministically here.
+					panic(fmt.Sprintf("worker %d: key %d returned %v", w, k, v))
+				}
+				c.Put(kg.EntityID(k), k+1, float64(k))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := uint64(1); e < 50; e++ {
+			c.SetEpoch(e)
+			c.Flush()
+		}
+	}()
+	wg.Wait()
+}

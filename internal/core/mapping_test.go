@@ -77,8 +77,8 @@ func TestGreedySuboptimalCase(t *testing.T) {
 func TestHungarianDominatesGreedyOnAssignmentTotal(t *testing.T) {
 	l, g := fixtureLake(t)
 	q := queryOf(t, g, "santo", "stetter")
-	sc := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingHungarian, nil)
-	scGreedy := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingGreedy, nil)
+	sc := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingHungarian, nil, nil)
+	scGreedy := newScorer(q, NewTypeJaccard(g), UniformInformativeness, AggregateMax, ModeEntityWise, MappingGreedy, nil, nil)
 	for _, tb := range l.Tables() {
 		if tb.NumRows() == 0 {
 			continue

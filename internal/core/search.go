@@ -28,6 +28,10 @@ var (
 	mSigmaMisses  = obs.SigmaCacheMissesTotal()
 	mSigmaBytes   = obs.SigmaCacheBytes()
 	mSigmaRatio   = obs.SigmaCacheHitRatio()
+	mCrossHits    = obs.CrossCacheHitsTotal()
+	mCrossMisses  = obs.CrossCacheMissesTotal()
+	mCrossBytes   = obs.CrossCacheBytes()
+	mCrossRatio   = obs.CrossCacheHitRatio()
 )
 
 // sigmaCacheRuntimeOff is the process-wide σ-cache kill switch, set by
@@ -77,20 +81,46 @@ type Engine struct {
 	// A nil source or a nil index falls back to exact σ for that search
 	// (counted on thetis_ann_fallbacks_total).
 	Ann AnnSource
+	// Cross is the optional cross-query σ cache (docs/THROUGHPUT.md),
+	// consulted on query-cache misses and persisting across searches under
+	// epoch invalidation. Nil (the default) is the exactness baseline the
+	// differential battery compares against; results are bit-identical
+	// either way. It is never consulted when a search scores with a
+	// per-query top-k σ (docs/ANN.md), whose values are query-relative.
+	Cross *CrossCache
 }
 
-// newSigmaCache returns the query-scoped σ cache for one search over the
-// given σ (the engine's exact σ, or the search's top-k σ), or nil when
-// caching is disabled by the build tag, the process-wide switch, or the
-// engine.
-func (eng *Engine) newSigmaCache(q Query, sim Similarity) *SigmaCache {
+// newSigmaCache returns the σ cache for one search over the given σ (the
+// engine's exact σ, or the search's top-k σ), or nil when caching is
+// disabled by the build tag, the process-wide switch, or the engine.
+// When ctx carries a batch-scoped cache (WithBatchSigma) built for the
+// same σ, that shared cache is returned instead of a fresh query-scoped
+// one — the σ-sharing seam of the batch API. A top-k σ never matches the
+// batch cache's σ, so those searches keep their private query-scoped
+// cache, and all the disable switches are checked first, so the escape
+// hatches govern the batch scope too.
+func (eng *Engine) newSigmaCache(ctx context.Context, q Query, sim Similarity) *SigmaCache {
 	if !sigmaCacheBuildEnabled || eng.DisableSigmaCache || sigmaCacheRuntimeOff.Load() {
 		return nil
 	}
 	if eng.Lake == nil || eng.Lake.Graph == nil {
 		return nil
 	}
+	if bs := batchSigmaFrom(ctx); bs != nil && bs.sim == sim && bs.cache != nil {
+		return bs.cache
+	}
 	return NewSigmaCache(q, sim, eng.Lake.Graph.NumEntities())
+}
+
+// crossFor returns the engine's cross-query cache when it may serve a
+// search scoring with sim: the cache memoizes the engine's exact σ, so a
+// per-query top-k σ (whose values are relative to one query's ANN
+// neighborhoods) must bypass it.
+func (eng *Engine) crossFor(sim Similarity) *CrossCache {
+	if eng.Cross == nil || sim != eng.Sim {
+		return nil
+	}
+	return eng.Cross
 }
 
 // NewEngine builds an engine with IDF informativeness and MAX aggregation,
@@ -138,6 +168,12 @@ type Stats struct {
 	// not report its memoization). Their sum is the total number of σ
 	// lookups the scoring stage issued through the cache.
 	SigmaHits, SigmaMisses int64
+	// CrossHits and CrossMisses count σ resolutions served from and filled
+	// into the cross-query CrossCache (docs/THROUGHPUT.md). Only lookups
+	// that missed the query/batch-scoped cache reach the cross cache, so
+	// CrossHits+CrossMisses ≤ SigmaMisses when both caches run. Zero when
+	// no cross cache is attached.
+	CrossHits, CrossMisses int64
 	// ShardErrors explains, in human-readable form, why shard legs of a
 	// scatter-gather search contributed nothing: a contained panic, a
 	// remote shard whose every replica/retry failed, and so on. Empty on
@@ -213,10 +249,11 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 	}
 
 	type partial struct {
-		results      []Result
-		mapping      time.Duration
-		panicked     int
-		hits, misses int64
+		results                []Result
+		mapping                time.Duration
+		panicked               int
+		hits, misses           int64
+		crossHits, crossMisses int64
 	}
 	// sim is the σ this search scores with: the engine's exact σ, or —
 	// with SigmaTopK on — a per-search top-k neighborhood σ resolved once
@@ -225,9 +262,14 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 	sim := eng.searchSim(q, tr)
 	// sigma is the query-scoped σ cache, shared by every scoring worker of
 	// this search so each distinct (query entity, cell entity) pair is
-	// scored exactly once per query. Nil when disabled; scorers then fall
-	// back to per-worker memoization.
-	sigma := eng.newSigmaCache(q, sim)
+	// scored exactly once per query — or the batch-scoped cache when ctx
+	// carries one (docs/THROUGHPUT.md). Nil when disabled; scorers then
+	// fall back to per-worker memoization.
+	sigma := eng.newSigmaCache(ctx, q, sim)
+	// cross is the optional cross-query σ cache, consulted by scorers only
+	// on sigma-cache misses. Nil unless attached to the engine and the
+	// search scores with the engine's exact σ.
+	cross := eng.crossFor(sim)
 	// scoreOne contains a panic to the table that caused it: scoring worker
 	// goroutines are outside any net/http recovery, so an uncontained panic
 	// here would kill the whole process.
@@ -268,10 +310,12 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 			defer wg.Done()
 			// Each worker gets its own scorer (scratch rows, local σ
 			// fallback); the SigmaCache is the part they share.
-			sc := newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
+			sc := newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma, cross)
 			defer func() {
 				parts[w].hits += sc.hits
 				parts[w].misses += sc.misses
+				parts[w].crossHits += sc.crossHits
+				parts[w].crossMisses += sc.crossMisses
 			}()
 			for _, tid := range candidates[lo:hi] {
 				if stop.expired() {
@@ -287,7 +331,9 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 					// cache stays valid.)
 					parts[w].hits += sc.hits
 					parts[w].misses += sc.misses
-					sc = newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma)
+					parts[w].crossHits += sc.crossHits
+					parts[w].crossMisses += sc.crossMisses
+					sc = newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma, cross)
 					continue
 				}
 				if score > 0 {
@@ -306,6 +352,8 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 		stats.Panicked += p.panicked
 		stats.SigmaHits += p.hits
 		stats.SigmaMisses += p.misses
+		stats.CrossHits += p.crossHits
+		stats.CrossMisses += p.crossMisses
 	}
 	if sigma != nil {
 		sigma.addCounts(stats.SigmaHits, stats.SigmaMisses)
@@ -315,6 +363,16 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 		if total := stats.SigmaHits + stats.SigmaMisses; total > 0 {
 			mSigmaRatio.Set(float64(stats.SigmaHits) / float64(total))
 		}
+	}
+	if cross != nil {
+		cross.addCounts(stats.CrossHits, stats.CrossMisses)
+		mCrossHits.Add(stats.CrossHits)
+		mCrossMisses.Add(stats.CrossMisses)
+		mCrossBytes.Set(float64(cross.MemoryBytes()))
+		if total := stats.CrossHits + stats.CrossMisses; total > 0 {
+			mCrossRatio.Set(float64(stats.CrossHits) / float64(total))
+		}
+		tr.Add(obs.Stage{Name: "crosscache", Items: int(stats.CrossHits)})
 	}
 	stats.Truncated = truncated.Load()
 	if stats.Truncated {
@@ -353,7 +411,8 @@ func (eng *Engine) SearchCandidatesContext(ctx context.Context, q Query, candida
 // the same table earns inside Search.
 func (eng *Engine) ScoreTable(q Query, tid lake.TableID) (float64, time.Duration) {
 	sim := eng.searchSim(q, nil)
-	sc := newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, eng.newSigmaCache(q, sim))
+	sigma := eng.newSigmaCache(context.Background(), q, sim)
+	sc := newScorer(q, sim, eng.Inf, eng.Agg, eng.Mode, eng.Mapping, sigma, eng.crossFor(sim))
 	return sc.scoreTable(eng.Lake.Table(tid), eng.Lake.ColumnIndex(tid))
 }
 

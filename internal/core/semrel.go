@@ -103,13 +103,23 @@ type scorer struct {
 	distinct []kg.EntityID
 	slots    [][]int
 
-	// shared is the query-scoped σ cache shared across all workers of one
-	// search; nil when disabled, in which case local memoizes per worker.
-	shared *SigmaCache
-	local  []sigmaCache
+	// shared is the query-scoped (or batch-scoped) σ cache shared across
+	// all workers of one search; nil when disabled, in which case local
+	// memoizes per worker. cacheSlot maps the scorer's distinct-entity
+	// index to the cache's slot: identity for a query-scoped cache, a
+	// union remap for a batch-scoped one (docs/THROUGHPUT.md).
+	shared    *SigmaCache
+	cacheSlot []int
+	local     []sigmaCache
 	// hits/misses batch the shared cache's counters locally (merged once
 	// per search, not once per lookup).
 	hits, misses int64
+
+	// cross is the optional cross-query σ cache, consulted only on a
+	// shared/local miss (so its per-lookup cost rides on σ computations,
+	// never on memoized hits); nil when disabled.
+	cross                  *CrossCache
+	crossHits, crossMisses int64
 
 	// Per-table scratch, reset by scoreTable: rowScore[di][j] is the sum
 	// of σ(distinct[di], e) over column j's cells — the σ submatrix row of
@@ -119,7 +129,7 @@ type scorer struct {
 	rowValid []bool
 }
 
-func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mode ScoreMode, mapping MappingMethod, shared *SigmaCache) *scorer {
+func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mode ScoreMode, mapping MappingMethod, shared *SigmaCache, cross *CrossCache) *scorer {
 	s := &scorer{
 		sim:     sim,
 		inf:     inf,
@@ -130,6 +140,7 @@ func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mo
 		weights: make([][]float64, len(q)),
 		slots:   make([][]int, len(q)),
 		shared:  shared,
+		cross:   cross,
 	}
 	slotOf := make(map[kg.EntityID]int)
 	for ti, tq := range q {
@@ -146,7 +157,23 @@ func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mo
 			s.slots[ti][k] = di
 		}
 	}
-	if shared == nil {
+	if shared != nil {
+		// Resolve this scorer's distinct entities to the cache's slots.
+		// A query-scoped cache covers them by construction; a batch-scoped
+		// cache covers the union of its batch's queries. An uncovered
+		// entity means the cache belongs to some other query set — drop it
+		// and fall back to worker-local memoization rather than mis-slot.
+		s.cacheSlot = make([]int, len(s.distinct))
+		for i, e := range s.distinct {
+			slot, ok := shared.Slot(e)
+			if !ok {
+				s.shared, s.cacheSlot = nil, nil
+				break
+			}
+			s.cacheSlot[i] = slot
+		}
+	}
+	if s.shared == nil {
 		s.local = make([]sigmaCache, len(s.distinct))
 		for i := range s.local {
 			s.local[i] = make(sigmaCache)
@@ -157,16 +184,16 @@ func newScorer(q Query, sim Similarity, inf Informativeness, agg Aggregation, mo
 	return s
 }
 
-// sigma returns σ(distinct[di], target), memoized in the shared
-// query-scoped cache when one is attached, else in the worker-local map.
+// sigma returns σ(distinct[di], target), memoized in the shared query- or
+// batch-scoped cache when one is attached, else in the worker-local map.
 func (s *scorer) sigma(di int, target uint32) float64 {
 	if s.shared != nil {
-		if v, ok := s.shared.lookup(di, target); ok {
+		if v, ok := s.shared.lookup(s.cacheSlot[di], target); ok {
 			s.hits++
 			return v
 		}
-		v := s.sim.Score(s.distinct[di], kgEntity(target))
-		s.shared.store(di, target, v)
+		v := s.resolveSigma(di, target)
+		s.shared.store(s.cacheSlot[di], target, v)
 		s.misses++
 		return v
 	}
@@ -174,8 +201,26 @@ func (s *scorer) sigma(di int, target uint32) float64 {
 	if v, ok := c[target]; ok {
 		return v
 	}
-	v := s.sim.Score(s.distinct[di], kgEntity(target))
+	v := s.resolveSigma(di, target)
 	c[target] = v
+	return v
+}
+
+// resolveSigma produces σ(distinct[di], target) on a query-cache miss:
+// from the cross-query cache when one is attached (filling it on a cross
+// miss), else by direct evaluation. Either way the value is the same
+// deterministic σ, so attaching a cross cache never changes results.
+func (s *scorer) resolveSigma(di int, target uint32) float64 {
+	if s.cross == nil {
+		return s.sim.Score(s.distinct[di], kgEntity(target))
+	}
+	if v, ok := s.cross.Get(s.distinct[di], target); ok {
+		s.crossHits++
+		return v
+	}
+	v := s.sim.Score(s.distinct[di], kgEntity(target))
+	s.cross.Put(s.distinct[di], target, v)
+	s.crossMisses++
 	return v
 }
 

@@ -98,6 +98,23 @@ func NewSigmaCache(q Query, sim Similarity, numEntities int) *SigmaCache {
 	return c
 }
 
+// NewBatchSigmaCache builds one cache covering the union of the distinct
+// entities of every query in the batch — the batch scope of
+// docs/THROUGHPUT.md. Slots follow first-occurrence order across the
+// queries in batch order, so any query of the batch can share the cache
+// through scorer slot remapping (Slot resolves its entities). Memoized σ
+// values are identical whichever query triggered them, so sharing the
+// cache across the batch cannot change any query's results. The dense/
+// sharded representation switch applies to the union footprint, so large
+// batches degrade to sharded maps exactly like large single queries.
+func NewBatchSigmaCache(queries []Query, sim Similarity, numEntities int) *SigmaCache {
+	var union Query
+	for _, q := range queries {
+		union = append(union, q...)
+	}
+	return NewSigmaCache(union, sim, numEntities)
+}
+
 // NumSlots returns the number of distinct query entities the cache covers.
 func (c *SigmaCache) NumSlots() int { return len(c.entities) }
 

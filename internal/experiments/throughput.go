@@ -1,0 +1,338 @@
+package experiments
+
+// Throughput mode (docs/THROUGHPUT.md): a closed-loop load generator that
+// drives the serving stack in its three modes — sequential /search, batch
+// /search/batch, and sequential-with-cross-cache — against both an
+// in-process System and a loopback HTTP daemon. The point is not paper
+// fidelity (no figure reports this) but the engineering claim the batch
+// and cross-cache machinery makes: same rankings, more queries per second.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thetis"
+	"thetis/internal/core"
+	"thetis/internal/datagen"
+	"thetis/internal/server"
+)
+
+// throughputBatchSize is how many queries one batch-mode request carries.
+const throughputBatchSize = 16
+
+// ThroughputRow is one (target, mode) cell of the throughput sweep.
+type ThroughputRow struct {
+	// Target is "inproc" (direct System calls) or "http" (a loopback
+	// daemon behind internal/server with shedding and timeouts on).
+	Target string `json:"target"`
+	// Mode is "single" (one query per request), "batch" (16 queries per
+	// POST /search/batch), or "cross" (single with the cross-query σ
+	// cache enabled).
+	Mode string `json:"mode"`
+	// Requests and Queries count completed work; batch requests carry
+	// several queries each.
+	Requests int64 `json:"requests"`
+	Queries  int64 `json:"queries"`
+	// QPS is achieved queries per second over the measured window.
+	QPS float64 `json:"qps"`
+	// P50/P99 are per-request latencies in microseconds.
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+	// ShedRate is the fraction of HTTP requests answered 429 (always 0
+	// in-process: there is no admission gate to shed from).
+	ShedRate float64 `json:"shed_rate"`
+	// CrossHitRate is the cross-query σ cache hit ratio over the cell
+	// (0 outside cross mode).
+	CrossHitRate float64 `json:"cross_hit_rate"`
+}
+
+// ThroughputResult holds the full sweep plus the load shape that produced
+// it; JSON() serializes it as the BENCH_throughput.json trajectory record.
+type ThroughputResult struct {
+	Tables      int             `json:"tables"`
+	QuerySet    int             `json:"query_set"`
+	Concurrency int             `json:"concurrency"`
+	TargetQPS   float64         `json:"target_qps"`
+	WindowSecs  float64         `json:"window_secs"`
+	BatchSize   int             `json:"batch_size"`
+	Rows        []ThroughputRow `json:"rows"`
+}
+
+// loadStats is what one closed-loop run measures.
+type loadStats struct {
+	latencies []time.Duration
+	requests  int64
+	queries   int64
+	shed      int64
+	elapsed   time.Duration
+}
+
+// runClosedLoop drives do from conc workers for window. Each worker issues
+// the next request as soon as its previous one returns (closed loop); a
+// positive qps caps the aggregate issue rate with a token ticker instead.
+// do receives a monotonically increasing request number and reports how
+// many queries the request answered and whether it was shed.
+func runClosedLoop(conc int, qps float64, window time.Duration, do func(n int64) (queries int, shed bool)) loadStats {
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		out     loadStats
+		tokens  chan struct{}
+		stopTok = func() {}
+	)
+	if qps > 0 {
+		tokens = make(chan struct{}, conc)
+		tick := time.NewTicker(time.Duration(float64(time.Second) / qps))
+		done := make(chan struct{})
+		stopTok = func() { tick.Stop(); close(done) }
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // generator ahead of the workers; drop the token
+					}
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lat []time.Duration
+			var reqs, qs, shed int64
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Until(deadline)):
+						continue
+					}
+				}
+				t0 := time.Now()
+				nq, wasShed := do(next.Add(1) - 1)
+				lat = append(lat, time.Since(t0))
+				reqs++
+				if wasShed {
+					shed++
+				} else {
+					qs += int64(nq)
+				}
+			}
+			mu.Lock()
+			out.latencies = append(out.latencies, lat...)
+			out.requests += reqs
+			out.queries += qs
+			out.shed += shed
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	stopTok()
+	out.elapsed = time.Since(start)
+	return out
+}
+
+// pctl returns the p-th percentile (0..1) of a latency sample.
+func pctl(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// buildThroughputSystem assembles a root-level System over the benchmark
+// corpus: type-Jaccard σ and the default LSEI, the stack thetisd serves.
+func buildThroughputSystem(env *Env) *thetis.System {
+	sys := thetis.New(env.KG.Graph)
+	for id := 0; id < env.Lake.NumTables(); id++ {
+		sys.AddTable(env.Lake.Table(thetis.TableID(id)))
+	}
+	sys.UseTypeSimilarity()
+	sys.BuildIndex(thetis.DefaultIndexConfig())
+	return sys
+}
+
+// throughputQueries renders the benchmark queries both as parsed Query
+// values (in-process target) and as POST /search body text (HTTP target).
+func throughputQueries(env *Env) (parsed []core.Query, texts []string) {
+	g := env.KG.Graph
+	for _, set := range [][]datagen.BenchmarkQuery{env.Queries1, env.Queries5} {
+		for _, bq := range set {
+			var tuples []string
+			for _, tuple := range bq.Query {
+				uris := make([]string, len(tuple))
+				for i, e := range tuple {
+					uris[i] = g.URI(e)
+				}
+				tuples = append(tuples, strings.Join(uris, " | "))
+			}
+			parsed = append(parsed, bq.Query)
+			texts = append(texts, strings.Join(tuples, "; "))
+		}
+	}
+	return parsed, texts
+}
+
+// RunThroughput sweeps target × mode under the configured load shape and
+// reports achieved QPS, latency percentiles, shed rate, and cache hit
+// ratios per cell (benchrunner -exp throughput).
+func RunThroughput(env *Env) ThroughputResult {
+	const topK = 10
+	conc := env.Config.Concurrency
+	if conc < 1 {
+		conc = 8
+	}
+	window := env.Config.LoadWindow
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	qps := env.Config.QPS
+
+	sys := buildThroughputSystem(env)
+	queries, texts := throughputQueries(env)
+	out := ThroughputResult{
+		Tables:      env.Lake.NumTables(),
+		QuerySet:    len(queries),
+		Concurrency: conc,
+		TargetQPS:   qps,
+		WindowSecs:  window.Seconds(),
+		BatchSize:   throughputBatchSize,
+	}
+
+	// Per-request work for each mode. Batch requests take the next
+	// batchSize queries round-robin so every query keeps appearing.
+	nextQ := func(n int64) int { return int(n % int64(len(queries))) }
+	inprocSingle := func(n int64) (int, bool) {
+		sys.SearchStatsContext(context.Background(), queries[nextQ(n)], topK)
+		return 1, false
+	}
+	inprocBatch := func(n int64) (int, bool) {
+		batch := make([]thetis.Query, throughputBatchSize)
+		base := n * throughputBatchSize
+		for i := range batch {
+			batch[i] = queries[nextQ(base+int64(i))]
+		}
+		sys.SearchBatchContext(context.Background(), batch, topK)
+		return len(batch), false
+	}
+
+	ts := httptest.NewServer(server.New(sys,
+		server.WithSearchTimeout(10*time.Second),
+		server.WithMaxInFlight(conc)))
+	defer ts.Close()
+	client := &http.Client{}
+	post := func(path, body string) (status int) {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	httpSingle := func(n int64) (int, bool) {
+		body, _ := json.Marshal(map[string]any{"query": texts[nextQ(n)], "k": topK})
+		return 1, post("/search", string(body)) == http.StatusTooManyRequests
+	}
+	httpBatch := func(n int64) (int, bool) {
+		batch := make([]string, throughputBatchSize)
+		base := n * throughputBatchSize
+		for i := range batch {
+			batch[i] = texts[nextQ(base+int64(i))]
+		}
+		body, _ := json.Marshal(map[string]any{"queries": batch, "k": topK})
+		return len(batch), post("/search/batch", string(body)) == http.StatusTooManyRequests
+	}
+
+	type cell struct {
+		target, mode string
+		cross        bool
+		do           func(int64) (int, bool)
+	}
+	cells := []cell{
+		{"inproc", "single", false, inprocSingle},
+		{"inproc", "batch", false, inprocBatch},
+		{"inproc", "cross", true, inprocSingle},
+		{"http", "single", false, httpSingle},
+		{"http", "batch", false, httpBatch},
+		{"http", "cross", true, httpSingle},
+	}
+	for _, c := range cells {
+		var before thetis.CrossCacheStats
+		if c.cross {
+			// 64 MiB comfortably holds the benchmark's σ working set; the
+			// point of the cell is the steady-state hit ratio.
+			sys.EnableCrossCache(64 << 20)
+			before, _ = sys.CrossCacheStats()
+		}
+		st := runClosedLoop(conc, qps, window, c.do)
+		row := ThroughputRow{
+			Target:    c.target,
+			Mode:      c.mode,
+			Requests:  st.requests,
+			Queries:   st.queries,
+			QPS:       float64(st.queries) / st.elapsed.Seconds(),
+			P50Micros: pctl(st.latencies, 0.50).Microseconds(),
+			P99Micros: pctl(st.latencies, 0.99).Microseconds(),
+		}
+		if st.requests > 0 {
+			row.ShedRate = float64(st.shed) / float64(st.requests)
+		}
+		if c.cross {
+			after, _ := sys.CrossCacheStats()
+			if d := (after.Hits - before.Hits) + (after.Misses - before.Misses); d > 0 {
+				row.CrossHitRate = float64(after.Hits-before.Hits) / float64(d)
+			}
+			sys.DisableCrossCache()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render prints the sweep.
+func (r ThroughputResult) Render(w io.Writer) {
+	renderHeader(w, "Throughput: closed-loop load, single vs batch vs cross-cache, in-process and over HTTP")
+	shape := "unpaced"
+	if r.TargetQPS > 0 {
+		shape = fmt.Sprintf("%.0f req/s cap", r.TargetQPS)
+	}
+	fmt.Fprintf(w, "%d tables, %d distinct queries, %d workers (%s), %.1fs per cell, batch size %d\n\n",
+		r.Tables, r.QuerySet, r.Concurrency, shape, r.WindowSecs, r.BatchSize)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Target\tMode\tRequests\tQueries\tQPS\tP50\tP99\tShed\tCross hit")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%v\t%v\t%.1f%%\t%.1f%%\n",
+			row.Target, row.Mode, row.Requests, row.Queries, row.QPS,
+			time.Duration(row.P50Micros)*time.Microsecond,
+			time.Duration(row.P99Micros)*time.Microsecond,
+			100*row.ShedRate, 100*row.CrossHitRate)
+	}
+	tw.Flush()
+}
+
+// JSON serializes the machine-readable trajectory record
+// (BENCH_throughput.json).
+func (r ThroughputResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

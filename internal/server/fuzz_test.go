@@ -55,6 +55,53 @@ func FuzzSearchRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzSearchBatchDecode covers POST /search/batch (docs/THROUGHPUT.md):
+// arbitrary bodies must never panic or 5xx, and a 200 must decode as a
+// BatchSearchResponse whose per-query results arrive in request order.
+func FuzzSearchBatchDecode(f *testing.F) {
+	f.Add(`{"queries": ["Ron Santo | Chicago Cubs"], "k": 5}`)
+	f.Add(`{"queries": ["Ron Santo", "Ernie Banks | Chicago Cubs"]}`)
+	f.Add(`{"queries": []}`)
+	f.Add(`{"queries": ["Ron Santo", ""]}`)
+	f.Add(`{"queries": [""]}`)
+	f.Add(`{"queries": "Ron Santo"}`)
+	f.Add(`{"queries": [42]}`)
+	f.Add(`{"queries": ["a;b", "c|d\ne"], "k": -1}`)
+	f.Add(`{"queries": ["Ron Santo"], "k": 99999999}`)
+	f.Add(`{"queries": ["Ron Santo"], "bogus": true}`)
+	f.Add(`{"query": "Ron Santo"}`) // single-search shape on the batch endpoint
+	f.Add("{\"queries\": [\"\u0000\ufffd\"]}")
+	f.Add(`not json at all`)
+	f.Add(``)
+	f.Add(`[]`)
+
+	srv := New(demoSystem(f))
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/search/batch", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /search/batch %q: status %d (must be 4xx/200, never 5xx):\n%s",
+				body, rec.Code, rec.Body.String())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("POST /search/batch %q: invalid JSON response:\n%s", body, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK {
+			var resp BatchSearchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("POST /search/batch %q: 200 body not a BatchSearchResponse: %v", body, err)
+			}
+			var in BatchSearchRequest
+			if err := json.Unmarshal([]byte(body), &in); err == nil && len(resp.Results) != len(in.Queries) {
+				t.Fatalf("POST /search/batch %q: %d results for %d queries",
+					body, len(resp.Results), len(in.Queries))
+			}
+		}
+	})
+}
+
 // FuzzShardSearchDecode covers the scatter-leg endpoint POST /shard/search
 // (docs/SHARDING.md §"Shard-over-HTTP"): its body is a CRC32C envelope
 // around a remote.SearchRequest, so the decoder has two layers to confuse —

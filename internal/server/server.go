@@ -9,6 +9,7 @@
 //	POST /tables            live ingestion of one annotated-JSON table
 //	DELETE /tables/{id}     live removal (docs/LIVE_INDEX.md)
 //	POST /search            semantic search  {"query": "...", "k": 10}
+//	POST /search/batch      batched semantic search {"queries": [...], "k": 10}
 //	POST /keyword           BM25 keyword search {"q": "...", "k": 10}
 //	POST /hybrid            BM25-complemented semantic search
 //	GET  /metrics           Prometheus text-format metrics
@@ -179,6 +180,9 @@ func New(sys Backend, opts ...Option) *Server {
 	s.handle("POST", "/tables", s.handleAddTable)
 	s.handle("DELETE", "/tables/{id}", s.handleRemoveTable)
 	s.handle("POST", "/search", s.guard("/search", s.handleSearch))
+	if bb, ok := s.sys.(BatchBackend); ok {
+		s.handle("POST", "/search/batch", s.guard("/search/batch", s.handleSearchBatch(bb)))
+	}
 	s.handle("POST", "/keyword", s.guard("/keyword", s.handleKeyword))
 	s.handle("POST", "/hybrid", s.guard("/hybrid", s.handleHybrid))
 	s.handle("GET", "/debug/trace", s.guard("/debug/trace", s.handleTrace))

@@ -175,6 +175,11 @@ func (s *System) removeTableLocked(id TableID) {
 func (s *System) noteEpochLocked() {
 	mIndexEpoch.Set(float64(s.lake.Epoch()))
 	mTombstones.Set(float64(s.lake.NumSlots() - s.lake.NumTables()))
+	if s.cross != nil {
+		// Lazily invalidate the cross-query σ cache: entries tagged with
+		// older epochs miss from now on (docs/THROUGHPUT.md).
+		s.cross.SetEpoch(s.lake.Epoch())
+	}
 }
 
 // logAddLocked write-ahead-logs one addition when a delta log is attached.

@@ -140,6 +140,12 @@ type ShardedSystem struct {
 	ann            atomic.Pointer[annState]
 	annBuilding    atomic.Bool
 	annTopK, annEf int
+
+	// cross, when enabled, is the deployment-wide cross-query σ cache,
+	// shared by every shard's engine — σ is a global (entity, entity)
+	// property, so one cache serves all shards (EnableCrossCache,
+	// docs/THROUGHPUT.md).
+	cross *core.CrossCache
 }
 
 // NewShardedSystem creates an empty sharded lake over graph g, placing
@@ -306,6 +312,10 @@ func (ss *ShardedSystem) noteEpochLocked() {
 	ss.epoch.Add(1)
 	mIndexEpoch.Set(float64(ss.epoch.Load()))
 	mTombstones.Set(float64(len(ss.owner) - ss.live))
+	if ss.cross != nil {
+		// Lazily invalidate the cross-query σ cache (docs/THROUGHPUT.md).
+		ss.cross.SetEpoch(ss.epoch.Load())
+	}
 }
 
 // Compact rebuilds every shard's LSEI (and the shared frequent-type filter
@@ -410,6 +420,7 @@ func (ss *ShardedSystem) installEngines(sim Similarity) {
 	}
 	ss.typeFilter = nil
 	ss.filterState = nil
+	ss.attachCross()
 }
 
 // UseTypeSimilarity configures σ as the adjusted Jaccard of taxonomy-

@@ -214,6 +214,12 @@ type System struct {
 	// delta, when attached, write-ahead-logs every mutation so a restart
 	// can replay base snapshot + deltas (AttachDeltaLog).
 	delta *deltaLog
+
+	// cross, when enabled, memoizes σ across queries under epoch
+	// invalidation (EnableCrossCache, docs/THROUGHPUT.md). Mutations keep
+	// its epoch current via noteEpochLocked; similarity changes reattach
+	// and flush it (attachCross).
+	cross *core.CrossCache
 }
 
 // New creates an empty semantic data lake over the knowledge graph g.
@@ -385,6 +391,7 @@ func (s *System) UseTypeSimilarity() {
 	s.engine = core.NewEngine(s.lake, s.tj)
 	s.index.Store(nil)
 	s.filterState = nil
+	s.attachCross()
 }
 
 // UseEmbeddingSimilarity configures σ as the clamped cosine of entity
@@ -398,6 +405,7 @@ func (s *System) UseEmbeddingSimilarity() {
 	s.engine = core.NewEngine(s.lake, s.ec)
 	s.index.Store(nil)
 	s.filterState = nil
+	s.attachCross()
 }
 
 // UseCombinedSimilarity configures σ as a weighted blend of the type and
@@ -418,6 +426,7 @@ func (s *System) UseCombinedSimilarity(typeWeight, embeddingWeight float64) {
 	s.engine = core.NewEngine(s.lake, comb)
 	s.index.Store(nil)
 	s.filterState = nil
+	s.attachCross()
 }
 
 // RelaxedSearch is Search with automatic relaxation of over-specialized

@@ -1,4 +1,4 @@
-package thetis
+package thetis_test
 
 // Deadline behavior against the full synthetic benchmark corpus: a search
 // whose context expires must return promptly with a correctly ranked,
